@@ -1,0 +1,31 @@
+// Command origin runs the test origin server of the live track: an
+// HTTP/1.1 server where /size/<n> returns n deterministic bytes — the
+// "Test Server" box of the paper's Figure 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"spdier/internal/liveproxy"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	origin, err := liveproxy.StartOrigin(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer origin.Close()
+	fmt.Printf("origin listening on %s (try /size/10000)\n", origin.Addr())
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	fmt.Printf("served %d requests\n", origin.Served())
+}

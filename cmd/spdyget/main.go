@@ -1,0 +1,69 @@
+// Command spdyget fetches URLs through a live SPDY proxy over a single
+// multiplexed session and prints per-stream timings — a miniature of the
+// paper's instrumented page loads.
+//
+//	spdyget -proxy 127.0.0.1:9090 test.example/size/10000 test.example/size/50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spdier/internal/liveproxy"
+	"spdier/internal/spdy"
+)
+
+func main() {
+	var (
+		proxy = flag.String("proxy", "127.0.0.1:9090", "SPDY proxy address")
+		prio  = flag.Int("priority", 3, "SPDY priority 0 (highest) to 7")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: spdyget [-proxy addr] host/path [host/path ...]")
+		os.Exit(2)
+	}
+
+	client, err := liveproxy.DialSPDY(*proxy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer client.Close()
+
+	type pending struct {
+		url string
+		ch  <-chan liveproxy.FetchResult
+	}
+	var reqs []pending
+	for _, arg := range flag.Args() {
+		host, path, ok := strings.Cut(arg, "/")
+		if !ok {
+			path = ""
+		}
+		ch, err := client.Get(host, "/"+path, spdy.Priority(*prio))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		reqs = append(reqs, pending{url: arg, ch: ch})
+	}
+	failed := false
+	for _, r := range reqs {
+		res := <-r.ch
+		if res.Err != nil {
+			fmt.Printf("%-40s ERROR %v\n", r.url, res.Err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%-40s %s  %7d bytes  firstByte=%7.2fms  done=%7.2fms\n",
+			r.url, res.Status, len(res.Body),
+			float64(res.FirstByte.Microseconds())/1000,
+			float64(res.Done.Microseconds())/1000)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

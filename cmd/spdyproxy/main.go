@@ -1,0 +1,46 @@
+// Command spdyproxy runs the live SPDY/3 proxy (the Chromium flip-server
+// role in the paper's testbed) and, optionally, an HTTP forward proxy
+// (the Squid role) beside it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"spdier/internal/liveproxy"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9090", "SPDY listen address")
+		httpAddr = flag.String("http", "", "also run an HTTP forward proxy on this address")
+		origin   = flag.String("origin", "", "route all requests to this origin address (default: use :host header)")
+	)
+	flag.Parse()
+
+	sp, err := liveproxy.StartSPDYProxy(*addr, *origin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer sp.Close()
+	fmt.Printf("SPDY proxy listening on %s\n", sp.Addr())
+
+	if *httpAddr != "" {
+		hp, err := liveproxy.StartHTTPProxy(*httpAddr, *origin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer hp.Close()
+		fmt.Printf("HTTP proxy listening on %s\n", hp.Addr())
+	}
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	sessions, streams := sp.Stats()
+	fmt.Printf("served %d sessions, %d streams\n", sessions, streams)
+}

@@ -1,0 +1,96 @@
+// Command spdysim regenerates the tables and figures of "Towards a
+// SPDY'ier Mobile Web?" (CoNEXT 2013) inside the packet-level simulator.
+//
+// Usage:
+//
+//	spdysim -list                 # show available experiments
+//	spdysim -exp fig3             # run one experiment
+//	spdysim -exp all              # run everything (several minutes)
+//	spdysim -exp fig3 -runs 10    # more seeds per condition
+//	spdysim -har run.har -mode spdy -network 3g
+//	                              # one full session, exported as HAR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spdier/internal/browser"
+	"spdier/internal/experiment"
+	"spdier/internal/trace"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment ID (or 'all')")
+		runs    = flag.Int("runs", 5, "seeds per condition")
+		seed    = flag.Uint64("seed", 1, "base seed")
+		list    = flag.Bool("list", false, "list experiments")
+		har     = flag.String("har", "", "run one session and write its page loads as a HAR archive to this file")
+		mode    = flag.String("mode", "spdy", "protocol for -har runs: http or spdy")
+		network = flag.String("network", "3g", "access network for -har runs: 3g, lte or wifi")
+	)
+	flag.Parse()
+
+	if *har != "" {
+		switch *network {
+		case "3g", "lte", "wifi":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown network %q: use 3g, lte or wifi\n", *network)
+			os.Exit(2)
+		}
+		switch *mode {
+		case "http", "spdy":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown mode %q: use http or spdy\n", *mode)
+			os.Exit(2)
+		}
+		res := experiment.Run(experiment.Options{
+			Mode:    browser.Mode(*mode),
+			Network: experiment.NetworkKind(*network),
+			Seed:    *seed,
+		})
+		f, err := os.Create(*har)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteHAR(f, res.Records); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d page loads (%s over %s) to %s\n", len(res.Records), *mode, *network, *har)
+		return
+	}
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, s := range experiment.All() {
+			fmt.Printf("  %-14s %s\n", s.ID, s.Title)
+		}
+		if *exp == "" {
+			fmt.Println("\nrun one with: spdysim -exp <id>   (or -exp all)")
+		}
+		return
+	}
+
+	h := experiment.Harness{Runs: *runs, Seed: *seed}
+	specs := experiment.All()
+	if *exp != "all" {
+		s, ok := experiment.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(1)
+		}
+		specs = []experiment.Spec{s}
+	}
+	for _, s := range specs {
+		start := time.Now()
+		rep := s.Run(h)
+		fmt.Println(rep.String())
+		fmt.Printf("(%s completed in %v)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,62 @@
+// cellular3g demonstrates the paper's core cross-layer pathology on a
+// single TCP connection, step by step: transfer, go idle long enough for
+// the radio to demote, transfer again — and watch the stale RTO lose to
+// the promotion delay, producing spurious retransmissions and a
+// collapsed ssthresh. No browser, no proxy: just TCP and the radio.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"spdier/internal/netem"
+	"spdier/internal/rrc"
+	"spdier/internal/sim"
+	"spdier/internal/tcpsim"
+)
+
+func transferAndReport(label string, resetRTT bool) {
+	loop := sim.NewLoop()
+	radio := rrc.NewMachine(loop, rrc.Profile3G())
+	cfg := netem.Profile3G()
+	cfg.Up.LossRate, cfg.Down.LossRate = 0, 0 // isolate the radio effect
+	path := netem.NewPath(loop, cfg, sim.NewRNG(7), radio)
+	network := tcpsim.NewNetwork(loop, path)
+
+	serverCfg := tcpsim.DefaultConfig()
+	serverCfg.ResetRTTAfterIdle = resetRTT
+	rec := tcpsim.NewRecorder()
+	serverCfg.Probe = rec
+	client, server := network.NewConnPair(tcpsim.DefaultConfig(), serverCfg, "demo", "device")
+
+	received := 0
+	client.OnDeliver(func(n int) { received += n })
+	client.OnEstablished(func() { server.Write(300_000) })
+	client.Connect()
+	loop.Run(20 * sim.Second)
+	fmt.Printf("[%s] after first transfer:  %6d KB, srtt=%v rto=%v cwnd=%.0f ssthresh=%.0f\n",
+		label, received/1024, server.SRTT().Round(time.Millisecond), server.RTO().Round(time.Millisecond),
+		server.Cwnd(), server.Ssthresh())
+
+	// Idle 25 s: DCH→FACH at 5 s, FACH→IDLE at 17 s. The radio sleeps;
+	// TCP's RTT estimate does not.
+	idleEnd := loop.Now().Add(25 * time.Second)
+	loop.At(idleEnd, func() {
+		fmt.Printf("[%s] before second transfer: radio=%v, rto=%v (promotion delay will be %v)\n",
+			label, radio.State(), server.RTO().Round(time.Millisecond), 2*time.Second)
+		server.Write(300_000)
+	})
+	loop.Run(idleEnd.Add(30 * time.Second))
+
+	fmt.Printf("[%s] after second transfer: %6d KB total\n", label, received/1024)
+	fmt.Printf("[%s] RTO retransmissions=%d spurious arrivals=%d idle restarts=%d undo=%d\n",
+		label, server.Retransmits, client.SpuriousArrivals, server.IdleRestarts, server.Undos)
+	fmt.Printf("[%s] final cwnd=%.0f ssthresh=%.0f\n\n", label, server.Cwnd(), server.Ssthresh())
+}
+
+func main() {
+	fmt.Println("--- stock TCP: RTT estimate survives the idle period ---")
+	transferAndReport("stock", false)
+	fmt.Println("--- with the paper's fix (§6.2.1): RTT estimate reset after idle ---")
+	transferAndReport("fix", true)
+}

@@ -1,0 +1,43 @@
+// rttreset runs the paper's §6.2.1 proposal as a full field-test
+// comparison: twenty Table 1 pages over 3G with stock TCP versus TCP
+// that resets its RTT estimate after idle, for both HTTP and SPDY.
+package main
+
+import (
+	"fmt"
+
+	"spdier/internal/browser"
+	"spdier/internal/experiment"
+)
+
+func main() {
+	fmt.Println("20 pages x 3G, 60 s apart; three seeds per condition")
+	fmt.Println()
+	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
+		var basePLT, fixPLT, baseRetx, fixRetx float64
+		const runs = 3
+		for seed := uint64(1); seed <= runs; seed++ {
+			base := experiment.Run(experiment.Options{
+				Mode: mode, Network: experiment.Net3G, Seed: seed,
+			})
+			fix := experiment.Run(experiment.Options{
+				Mode: mode, Network: experiment.Net3G, Seed: seed,
+				ResetRTTAfterIdle: true,
+			})
+			for _, p := range base.PLTSeconds() {
+				basePLT += p
+			}
+			for _, p := range fix.PLTSeconds() {
+				fixPLT += p
+			}
+			baseRetx += float64(base.Retransmissions())
+			fixRetx += float64(fix.Retransmissions())
+		}
+		n := float64(runs * 20)
+		fmt.Printf("%s:\n", mode)
+		fmt.Printf("  stock TCP:      mean PLT %6.2fs   retx/run %6.1f\n", basePLT/n, baseRetx/runs)
+		fmt.Printf("  RTT-reset fix:  mean PLT %6.2fs   retx/run %6.1f\n", fixPLT/n, fixRetx/runs)
+		fmt.Printf("  improvement:    %.1f%% PLT, %.1f%% fewer retransmissions\n\n",
+			100*(basePLT-fixPLT)/basePLT, 100*(baseRetx-fixRetx)/baseRetx)
+	}
+}

@@ -1,0 +1,3 @@
+module spdier
+
+go 1.22

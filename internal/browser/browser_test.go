@@ -1,0 +1,289 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"spdier/internal/netem"
+	"spdier/internal/proxy"
+	"spdier/internal/rrc"
+	"spdier/internal/sim"
+	"spdier/internal/tcpsim"
+	"spdier/internal/trace"
+	"spdier/internal/webpage"
+)
+
+// world wires a full browser stack over a chosen radio profile.
+type world struct {
+	loop  *sim.Loop
+	net   *tcpsim.Network
+	prox  *proxy.Proxy
+	radio *rrc.Machine
+}
+
+func newWorld(seed uint64, cellular bool) *world {
+	loop := sim.NewLoop()
+	rng := sim.NewRNG(seed)
+	var radio *rrc.Machine
+	var pc netem.PathConfig
+	if cellular {
+		radio = rrc.NewMachine(loop, rrc.Profile3G())
+		pc = netem.Profile3G()
+	} else {
+		pc = netem.ProfileWiFi()
+	}
+	path := netem.NewPath(loop, pc, rng.Fork(1), radio)
+	network := tcpsim.NewNetwork(loop, path)
+	origin := proxy.NewOrigin(loop, proxy.DefaultOriginConfig(), rng.Fork(2))
+	return &world{loop: loop, net: network, prox: proxy.New(loop, origin), radio: radio}
+}
+
+func (w *world) browser(cfg Config, seed uint64) *Browser {
+	return New(w.loop, w.net, w.prox, cfg, sim.NewRNG(seed))
+}
+
+func loadOnce(t *testing.T, w *world, b *Browser, page *webpage.Page) *trace.PageRecord {
+	t.Helper()
+	var rec *trace.PageRecord
+	b.LoadPage(page, func(pr *trace.PageRecord) { rec = pr })
+	w.loop.Run(w.loop.Now().Add(120 * time.Second))
+	if rec == nil {
+		t.Fatal("page never completed")
+	}
+	return rec
+}
+
+func TestHTTPLoadCompletesAllObjects(t *testing.T) {
+	w := newWorld(1, false)
+	b := w.browser(DefaultConfig(ModeHTTP), 3)
+	page := webpage.Generate(webpage.Table1()[6], sim.NewRNG(5))
+	rec := loadOnce(t, w, b, page)
+	if rec.Aborted {
+		t.Fatal("aborted")
+	}
+	if len(rec.Objects) != len(page.Objects) {
+		t.Fatalf("loaded %d of %d objects", len(rec.Objects), len(page.Objects))
+	}
+	for _, or := range rec.Objects {
+		if or.Done == 0 || or.FirstByte == 0 || or.Requested == 0 {
+			t.Fatalf("object %d timeline incomplete: %+v", or.Obj.ID, or)
+		}
+		if or.Requested < or.Discovered || or.FirstByte < or.Requested || or.Done < or.FirstByte {
+			t.Fatalf("object %d timeline out of order", or.Obj.ID)
+		}
+	}
+}
+
+func TestHTTPRespectsConnectionBudgets(t *testing.T) {
+	w := newWorld(2, false)
+	cfg := DefaultConfig(ModeHTTP)
+	b := w.browser(cfg, 3)
+	page := webpage.Generate(webpage.Table1()[14], sim.NewRNG(5)) // 323 objects, 85 domains
+
+	maxTotal := 0
+	var watch func()
+	watch = func() {
+		total := 0
+		for _, p := range b.pools {
+			perDomain := len(p.conns)
+			if perDomain > cfg.MaxConnsPerDomain {
+				t.Errorf("domain %s has %d conns", p.domain, perDomain)
+			}
+			total += perDomain
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+		if total > cfg.MaxTotalConns {
+			t.Errorf("total conns %d exceeds %d", total, cfg.MaxTotalConns)
+		}
+		if w.loop.Pending() > 0 {
+			w.loop.After(100*time.Millisecond, watch)
+		}
+	}
+	w.loop.After(100*time.Millisecond, watch)
+	loadOnce(t, w, b, page)
+	if maxTotal < 10 {
+		t.Fatalf("parallelism never materialized: max %d conns", maxTotal)
+	}
+}
+
+func TestSPDYUsesSingleSessionAcrossPages(t *testing.T) {
+	w := newWorld(3, false)
+	b := w.browser(DefaultConfig(ModeSPDY), 3)
+	for i := 0; i < 3; i++ {
+		page := webpage.Generate(webpage.Table1()[i], sim.NewRNG(uint64(i)))
+		rec := loadOnce(t, w, b, page)
+		for _, or := range rec.Objects {
+			if or.ConnID != "spdy00" {
+				t.Fatalf("object rode %q", or.ConnID)
+			}
+		}
+	}
+	if len(b.sessions) != 1 {
+		t.Fatalf("%d sessions", len(b.sessions))
+	}
+	if got := len(b.ProxyConns()); got != 1 {
+		t.Fatalf("%d proxy conns", got)
+	}
+}
+
+func TestSPDYStripingRoundRobin(t *testing.T) {
+	w := newWorld(4, false)
+	cfg := DefaultConfig(ModeSPDY)
+	cfg.SPDYSessions = 4
+	b := w.browser(cfg, 3)
+	page := webpage.Generate(webpage.Table1()[6], sim.NewRNG(5))
+	rec := loadOnce(t, w, b, page)
+	used := map[string]int{}
+	for _, or := range rec.Objects {
+		used[or.ConnID]++
+	}
+	if len(used) != 4 {
+		t.Fatalf("striping used %d sessions: %v", len(used), used)
+	}
+}
+
+func TestSPDYLateBindingCompletes(t *testing.T) {
+	w := newWorld(5, true)
+	cfg := DefaultConfig(ModeSPDY)
+	cfg.SPDYSessions = 4
+	cfg.SPDYLateBinding = true
+	b := w.browser(cfg, 3)
+	page := webpage.Generate(webpage.Table1()[6], sim.NewRNG(5))
+	rec := loadOnce(t, w, b, page)
+	if rec.Aborted {
+		t.Fatal("late-binding load aborted")
+	}
+	for _, or := range rec.Objects {
+		if or.Done == 0 {
+			t.Fatalf("object %d incomplete", or.Obj.ID)
+		}
+	}
+}
+
+func TestPipeliningAllowsMultipleOutstanding(t *testing.T) {
+	w := newWorld(6, false)
+	cfg := DefaultConfig(ModeHTTP)
+	cfg.Pipelining = true
+	cfg.PipelineDepth = 4
+	b := w.browser(cfg, 3)
+	page := webpage.TestPage(true) // 50 objects on one domain
+	maxOut := 0
+	var watch func()
+	watch = func() {
+		for _, p := range b.pools {
+			for _, h := range p.conns {
+				if h.outstanding > maxOut {
+					maxOut = h.outstanding
+				}
+				if h.outstanding > 4 {
+					t.Errorf("outstanding %d exceeds depth", h.outstanding)
+				}
+			}
+		}
+		if w.loop.Pending() > 0 {
+			w.loop.After(20*time.Millisecond, watch)
+		}
+	}
+	w.loop.After(20*time.Millisecond, watch)
+	rec := loadOnce(t, w, b, page)
+	if rec.Aborted {
+		t.Fatal("aborted")
+	}
+	if maxOut < 2 {
+		t.Fatalf("pipelining never stacked requests (max %d)", maxOut)
+	}
+}
+
+func TestPipeliningFasterThanSerialOnHighRTT(t *testing.T) {
+	run := func(pipeline bool) time.Duration {
+		w := newWorld(7, true)
+		cfg := DefaultConfig(ModeHTTP)
+		cfg.Pipelining = pipeline
+		cfg.PipelineDepth = 6
+		b := w.browser(cfg, 3)
+		rec := loadOnce(t, w, b, webpage.TestPage(true))
+		return rec.PLT()
+	}
+	serial, piped := run(false), run(true)
+	if piped >= serial {
+		t.Fatalf("pipelining not faster on 3G single domain: %v vs %v", piped, serial)
+	}
+}
+
+func TestWatchdogAbortsStalledLoad(t *testing.T) {
+	w := newWorld(8, false)
+	cfg := DefaultConfig(ModeHTTP)
+	cfg.PageTimeout = 300 * time.Millisecond // absurdly tight
+	b := w.browser(cfg, 3)
+	page := webpage.Generate(webpage.Table1()[16], sim.NewRNG(1)) // 4.7 MB
+	rec := loadOnce(t, w, b, page)
+	if !rec.Aborted {
+		t.Fatal("watchdog did not fire")
+	}
+	if rec.PLT() > 400*time.Millisecond {
+		t.Fatalf("abort PLT %v", rec.PLT())
+	}
+}
+
+func TestIdleConnectionsClose(t *testing.T) {
+	w := newWorld(9, false)
+	cfg := DefaultConfig(ModeHTTP)
+	cfg.IdleConnTimeout = 2 * time.Second
+	cfg.Beacons = false
+	b := w.browser(cfg, 3)
+	loadOnce(t, w, b, webpage.Generate(webpage.Table1()[0], sim.NewRNG(5)))
+	w.loop.Run(w.loop.Now().Add(10 * time.Second))
+	if got := b.ActiveConns(); got != 0 {
+		t.Fatalf("%d connections survive idle timeout", got)
+	}
+	if b.totalConns != 0 {
+		t.Fatalf("budget accounting leaked: %d", b.totalConns)
+	}
+}
+
+func TestBeaconsGenerateBackgroundTraffic(t *testing.T) {
+	w := newWorld(10, false)
+	cfg := DefaultConfig(ModeHTTP)
+	cfg.Beacons = true
+	b := w.browser(cfg, 3)
+	var bytesAtLoad int64
+	done := false
+	b.LoadPage(webpage.Generate(webpage.Table1()[8], sim.NewRNG(5)), func(*trace.PageRecord) {
+		done = true
+		bytesAtLoad = w.net.Path().BtoA.Stats().Bytes
+	})
+	w.loop.Run(w.loop.Now().Add(60 * time.Second))
+	if !done {
+		t.Fatal("page never loaded")
+	}
+	if w.net.Path().BtoA.Stats().Bytes <= bytesAtLoad {
+		t.Fatal("no beacon traffic during think time")
+	}
+}
+
+func TestSocketStealingUnblocksNewDomains(t *testing.T) {
+	w := newWorld(11, false)
+	cfg := DefaultConfig(ModeHTTP)
+	cfg.MaxTotalConns = 4 // force contention
+	b := w.browser(cfg, 3)
+	page := webpage.TestPage(false) // 50 distinct domains
+	rec := loadOnce(t, w, b, page)
+	if rec.Aborted {
+		t.Fatal("load starved under tight global budget")
+	}
+	domains := map[string]bool{}
+	for _, or := range rec.Objects {
+		if or.Done == 0 {
+			t.Fatalf("object %d starved", or.Obj.ID)
+		}
+		if or.ConnID != "" {
+			domains[strings.SplitN(or.ConnID, ".", 2)[1]] = true
+		}
+	}
+	if len(domains) != 51 {
+		t.Fatalf("served %d domains", len(domains))
+	}
+}

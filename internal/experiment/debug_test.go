@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"spdier/internal/browser"
+	"spdier/internal/netem"
+	"spdier/internal/tcpsim"
+)
+
+// TestDebugNetworkContrast prints mean PLT per mode for each access
+// network — the paper's core cross-network finding in one view.
+func TestDebugNetworkContrast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	for _, net := range []NetworkKind{Net3G, NetLTE, NetWiFi} {
+		for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
+			res := Run(Options{Mode: mode, Network: net, Seed: 7})
+			t.Logf("%-4s %-4s meanPLT=%6.2fs medianish retx=%4d aborted=%d",
+				net, mode, mean(res.PLTSeconds()), res.Retransmissions(), countAborted(res))
+		}
+	}
+}
+
+// TestDebugCalibration prints link/TCP diagnostics for one run of each
+// mode; it never fails and exists to support parameter calibration.
+// Set SPDIER_DEBUG_NET to "lte" or "wifi" to inspect other networks.
+func TestDebugCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	network := NetworkKind(os.Getenv("SPDIER_DEBUG_NET"))
+	if network == "" {
+		network = Net3G
+	}
+	if filter := os.Getenv("SPDIER_DEBUG_CONN"); filter != "" {
+		var lines []string
+		prefix := os.Getenv("SPDIER_DEBUG_PREFIX")
+		tcpsim.SetDebugLog(func(s string) {
+			if !strings.Contains(s, filter) || len(lines) >= 800 {
+				return
+			}
+			if prefix != "" && !strings.HasPrefix(s, prefix) {
+				return
+			}
+			lines = append(lines, s)
+		})
+		defer func() {
+			tcpsim.SetDebugLog(nil)
+			for _, l := range lines {
+				t.Log(l)
+			}
+		}()
+	}
+	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
+		res := Run(Options{Mode: mode, Network: network, Seed: 7})
+		down := resPathDown(res)
+		t.Logf("%s: meanPLT=%.2f aborted=%d", mode, mean(res.PLTSeconds()), countAborted(res))
+		t.Logf("  down: sent=%d delivered=%d dropQueue=%d dropLoss=%d",
+			down.Sent, down.Delivered, down.DroppedQueue, down.DroppedLoss)
+		t.Logf("  retx=%d fast=%d idleRestarts=%d spurious=%d",
+			res.Recorder.Counts[tcpsim.EvRetransmit], res.Recorder.Counts[tcpsim.EvFastRetx],
+			res.Recorder.Counts[tcpsim.EvIdleRestart], res.Recorder.Counts[tcpsim.EvSpurious])
+		for i, rec := range res.Records {
+			if rec.Aborted {
+				t.Logf("  aborted page %d: %s objs=%d", i, rec.Page.Name, len(rec.Objects))
+				stuck := 0
+				for _, or := range rec.Objects {
+					if or.Done == 0 && stuck < 6 {
+						stuck++
+						t.Logf("    stuck obj %d kind=%s size=%d dom=%s disc=%v req=%v fb=%v conn=%q",
+							or.Obj.ID, or.Obj.Kind, or.Obj.Size, or.Obj.Domain, or.Discovered, or.Requested, or.FirstByte, or.ConnID)
+					}
+				}
+			}
+		}
+		// Figure 5-style phase breakdown.
+		var init, wait, recv, n float64
+		for _, pr := range res.Records {
+			for _, or := range pr.Objects {
+				if or.Done == 0 {
+					continue
+				}
+				init += or.Init().Seconds()
+				wait += or.Wait().Seconds()
+				recv += or.Recv().Seconds()
+				n++
+			}
+		}
+		t.Logf("  phases: init=%.0fms wait=%.0fms recv=%.0fms (n=%.0f)", init/n*1000, wait/n*1000, recv/n*1000, n)
+		for i, pr := range res.Records {
+			t.Logf("    page %2d %-22s plt=%6.2fs objs=%d", i, pr.Page.Name, pr.PLT().Seconds(), len(pr.Objects))
+		}
+		// Dump any proxy-side connection still holding data at the end.
+		for _, c := range res.Net.Conns() {
+			if c.BufferedBytes() > 0 || c.InFlightBytes() > 0 {
+				t.Logf("  wedged: %v peerWnd=%d rto=%v", c, c.PeerWnd(), c.RTO())
+			}
+		}
+		// Where in the 60 s page cycle do RTO retransmissions fall?
+		var hist [6]int
+		for _, s := range res.Recorder.Filter(tcpsim.EvRetransmit) {
+			off := int(s.At.Seconds()) % 60
+			hist[off/10]++
+		}
+		t.Logf("  retx by 10s-decile of page cycle: %v", hist)
+		if mode == browser.ModeSPDY {
+			n := 0
+			for _, s := range res.Recorder.Filter(tcpsim.EvRetransmit) {
+				if n < 40 {
+					n++
+					t.Logf("    %8.2fs %-12s cwnd=%.0f ssth=%.0f infl=%d rto=%.0fms srtt=%.0fms",
+						s.At.Seconds(), s.ConnID, s.Cwnd, s.Ssthresh, s.InFlight, s.RTOms, s.SRTTms)
+				}
+			}
+		}
+		if mode == browser.ModeHTTP {
+			n := 0
+			for _, s := range res.Recorder.Filter(tcpsim.EvRetransmit) {
+				if int(s.At.Seconds())%60 < 10 && n < 25 {
+					n++
+					t.Logf("    %8.2fs %-28s cwnd=%.0f ssth=%.0f rto=%.0fms srtt=%.0fms",
+						s.At.Seconds(), s.ConnID, s.Cwnd, s.Ssthresh, s.RTOms, s.SRTTms)
+				}
+			}
+		}
+	}
+}
+
+func resPathDown(r *Result) netem.LinkStats { return r.Net.Path().BtoA.Stats() }
+
+func countAborted(r *Result) int {
+	n := 0
+	for _, rec := range r.Records {
+		if rec != nil && rec.Aborted {
+			n++
+		}
+	}
+	return n
+}

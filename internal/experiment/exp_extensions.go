@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"spdier/internal/browser"
+	"spdier/internal/stats"
+)
+
+func init() {
+	register("pipelining", "Extension: HTTP/1.1 pipelining (untestable in the paper)", runPipelining)
+	register("latebinding", "Extension: SPDY over N connections with late binding (§6.2 proposal)", runLateBinding)
+}
+
+// runPipelining evaluates the mode the paper could not (Squid's
+// pipelining support was rudimentary): HTTP with several outstanding
+// requests per connection. Pipelining removes request round trips but
+// keeps HTTP/1.1's in-order response rule, so head-of-line blocking —
+// the very problem SPDY's multiplexing removes — caps the benefit.
+func runPipelining(h Harness) *Report {
+	r := NewReport("pipelining", "HTTP/1.1 pipelining over 3G",
+		"not measured in the paper (Squid limitation); §2.1 predicts improvement bounded by head-of-line blocking")
+	plain := sweep(h, Options{Mode: browser.ModeHTTP, Network: Net3G})
+	piped := sweep(h, Options{Mode: browser.ModeHTTP, Network: Net3G, Pipelining: true})
+	spdyR := sweep(h, Options{Mode: browser.ModeSPDY, Network: Net3G})
+
+	pm, qm, sm := stats.Mean(allPLTs(plain)), stats.Mean(allPLTs(piped)), stats.Mean(allPLTs(spdyR))
+	r.Metric("HTTP mean PLT", pm, "s")
+	r.Metric("HTTP+pipelining mean PLT", qm, "s")
+	r.Metric("SPDY mean PLT", sm, "s")
+	r.Metric("pipelining improvement over HTTP", 100*(pm-qm)/pm, "%")
+
+	// Init time should collapse (requests no longer wait for a free
+	// connection), like SPDY's.
+	meanInit := func(results []*Result) float64 {
+		var sum, n float64
+		for _, res := range results {
+			for _, rec := range res.Records {
+				for _, or := range rec.Objects {
+					if or.Done != 0 {
+						sum += or.Init().Seconds() * 1000
+						n++
+					}
+				}
+			}
+		}
+		return sum / n
+	}
+	r.Metric("HTTP mean init", meanInit(plain), "ms")
+	r.Metric("HTTP+pipelining mean init", meanInit(piped), "ms")
+	return r
+}
+
+// runLateBinding evaluates the fix §6.2 sketches for the failed §6.1
+// experiment: keep SPDY's burst of early requests, but deliver each
+// response over whichever TCP connection has an open window right now,
+// so one connection's spurious-timeout stall no longer delays every
+// object pinned to it.
+func runLateBinding(h Harness) *Report {
+	r := NewReport("latebinding", "SPDY striped with late binding",
+		"§6.2: late binding of responses to available connections should recover the multi-connection benefit that early binding squanders")
+	single := sweep(h, Options{Mode: browser.ModeSPDY, Network: Net3G, SPDYSessions: 1})
+	early := sweep(h, Options{Mode: browser.ModeSPDY, Network: Net3G, SPDYSessions: 8})
+	late := sweep(h, Options{Mode: browser.ModeSPDY, Network: Net3G, SPDYSessions: 8, SPDYLateBinding: true})
+
+	sm, em, lm := stats.Mean(allPLTs(single)), stats.Mean(allPLTs(early)), stats.Mean(allPLTs(late))
+	r.Metric("SPDY mean PLT, 1 connection", sm, "s")
+	r.Metric("SPDY mean PLT, 8 early-bound", em, "s")
+	r.Metric("SPDY mean PLT, 8 late-bound", lm, "s")
+	r.Metric("late vs early improvement", 100*(em-lm)/em, "%")
+	r.Metric("late vs single improvement", 100*(sm-lm)/sm, "%")
+	r.Metric("retx/run, 8 early-bound", meanRetx(early), "retx")
+	r.Metric("retx/run, 8 late-bound", meanRetx(late), "retx")
+	return r
+}

@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"time"
+
+	"spdier/internal/rrc"
+	"spdier/internal/sim"
+)
+
+func init() {
+	register("fig18", "RRC state machines for 3G UMTS and LTE", runFig18)
+}
+
+// runFig18 drives both radio state machines through a scripted activity
+// pattern and prints the resulting transition timelines and energy, the
+// appendix-A material every cellular experiment in this repository
+// rests on.
+func runFig18(h Harness) *Report {
+	r := NewReport("fig18", "RRC state machines (Appendix A)",
+		"3G: IDLE→DCH ≈2 s promotion, DCH→FACH after 5 s idle, FACH→IDLE after 12 s more; LTE: 400 ms promotion, Continuous→ShortDRX→LongDRX→IDLE with 11.5 s tail")
+	for _, profile := range []rrc.Profile{rrc.Profile3G(), rrc.ProfileLTE()} {
+		loop := sim.NewLoop()
+		m := rrc.NewMachine(loop, profile)
+
+		// Activity script: a burst at t=0, a small packet at t=8 s (rides
+		// FACH on 3G), then silence until t=40 s, then another burst.
+		readyTimes := make(map[string]sim.Time)
+		loop.At(0, func() { readyTimes["burst@0s"] = m.ReadyAt(1400) })
+		loop.At(8*sim.Second, func() { readyTimes["small@8s"] = m.ReadyAt(100) })
+		loop.At(40*sim.Second, func() { readyTimes["burst@40s"] = m.ReadyAt(1400) })
+		loop.Run(60 * sim.Second)
+
+		r.Printf("-- %s --", profile.Name)
+		for _, k := range []string{"burst@0s", "small@8s", "burst@40s"} {
+			at := readyTimes[k]
+			r.Printf("  %-10s radio ready at %v", k, at)
+		}
+		for _, tr := range m.Transitions() {
+			r.Printf("  %10v  %s -> %s", time.Duration(tr.At), tr.From, tr.To)
+		}
+		r.Metric(profile.Name+" promotions with delay", float64(m.Promotions()), "promotions")
+		r.Metric(profile.Name+" radio energy over 60 s", m.EnergyMilliJoules()/1000, "J")
+	}
+	return r
+}

@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"spdier/internal/browser"
+	"spdier/internal/stats"
+)
+
+func init() {
+	register("fig14", "Impact of keeping the radio in DCH (background ping)", runFig14)
+	register("fig15", "Disabling tcp_slow_start_after_idle", runFig15)
+	register("rttreset", "§6.2.1: resetting the RTT estimate after idle", runRTTReset)
+	register("metricscache", "§6.2.4: disabling the TCP metrics cache", runMetricsCache)
+	register("multiconn", "§6.1: striping SPDY over 20 connections", runMultiConn)
+}
+
+// runFig14 compares page-load CDFs with and without a background ping
+// that pins the radio in DCH — turning the cellular network into a
+// stable-latency network at the cost of battery.
+func runFig14(h Harness) *Report {
+	r := NewReport("fig14", "Impact of the cellular RRC state machine",
+		">80% of loads <8 s with ping vs 40-45% without; retx −91% (HTTP) / −96% (SPDY); SPDY beats HTTP for ~60% of instances with ping; pinning DCH wastes battery")
+	type cond struct {
+		mode browser.Mode
+		ping bool
+	}
+	conds := []cond{
+		{browser.ModeHTTP, false}, {browser.ModeHTTP, true},
+		{browser.ModeSPDY, false}, {browser.ModeSPDY, true},
+	}
+	cdfs := map[cond]*stats.CDF{}
+	retxs := map[cond]float64{}
+	energy := map[cond]float64{}
+	for _, c := range conds {
+		results := sweep(h, Options{Mode: c.mode, Network: Net3G, PingKeepalive: c.ping})
+		cdfs[c] = stats.NewCDF(allPLTs(results))
+		retxs[c] = meanRetx(results)
+		var e float64
+		for _, res := range results {
+			e += res.RadioMJ
+		}
+		energy[c] = e / float64(len(results)) / 1000 // joules
+	}
+	name := func(c cond) string {
+		s := string(c.mode)
+		if c.ping {
+			return s + " + ping"
+		}
+		return s + " (no ping)"
+	}
+	r.Printf("%-18s %14s %14s %14s %14s", "condition", "P(PLT<4s)", "P(PLT<8s)", "retx/run", "radio energy J")
+	for _, c := range conds {
+		r.Printf("%-18s %14.2f %14.2f %14.1f %14.0f",
+			name(c), cdfs[c].At(4), cdfs[c].At(8), retxs[c], energy[c])
+	}
+	r.Metric("HTTP P(PLT<8s) with ping", cdfs[cond{browser.ModeHTTP, true}].At(8), "frac")
+	r.Metric("HTTP P(PLT<8s) without ping", cdfs[cond{browser.ModeHTTP, false}].At(8), "frac")
+	r.Metric("SPDY P(PLT<8s) with ping", cdfs[cond{browser.ModeSPDY, true}].At(8), "frac")
+	r.Metric("SPDY P(PLT<8s) without ping", cdfs[cond{browser.ModeSPDY, false}].At(8), "frac")
+	if retxs[cond{browser.ModeHTTP, false}] > 0 {
+		r.Metric("HTTP retx reduction from ping",
+			100*(1-retxs[cond{browser.ModeHTTP, true}]/retxs[cond{browser.ModeHTTP, false}]), "%")
+	}
+	if retxs[cond{browser.ModeSPDY, false}] > 0 {
+		r.Metric("SPDY retx reduction from ping",
+			100*(1-retxs[cond{browser.ModeSPDY, true}]/retxs[cond{browser.ModeSPDY, false}]), "%")
+	}
+	r.Metric("radio energy cost of ping (SPDY)",
+		energy[cond{browser.ModeSPDY, true}]-energy[cond{browser.ModeSPDY, false}], "J")
+	return r
+}
+
+// runFig15 disables congestion-window validation after idle and reports
+// the per-site relative PLT difference — benefits vary, and with the
+// parameter off the receive window can become the bottleneck.
+func runFig15(h Harness) *Report {
+	r := NewReport("fig15", "Page load times with & w/o tcp_slow_start_after_idle",
+		"benefits vary across sites; outstanding data similar; with the parameter off, cwnd can grow so large the receive window becomes the bottleneck")
+	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
+		on := sweep(h, Options{Mode: mode, Network: Net3G})
+		off := sweep(h, Options{Mode: mode, Network: Net3G, SlowStartAfterIdleOff: true})
+		onSite, offSite := pltBySite(on), pltBySite(off)
+		r.Printf("-- %s: relative PLT difference, negative = disabling helps --", mode)
+		neg, pos := 0, 0
+		for site := 1; site <= 20; site++ {
+			d := stats.RelDiff(stats.Mean(offSite[site]), stats.Mean(onSite[site]))
+			bar := ""
+			n := int(d / 4)
+			if n > 12 {
+				n = 12
+			}
+			if n < -12 {
+				n = -12
+			}
+			for i := 0; i < n; i++ {
+				bar += "+"
+			}
+			for i := 0; i > n; i-- {
+				bar += "-"
+			}
+			r.Printf("site %2d %+7.1f%% %s", site, d, bar)
+			if d < 0 {
+				neg++
+			} else {
+				pos++
+			}
+		}
+		r.Metric(string(mode)+" sites helped by disabling", float64(neg), "sites")
+		r.Metric(string(mode)+" sites hurt by disabling", float64(pos), "sites")
+		r.Metric(string(mode)+" mean PLT enabled", stats.Mean(allPLTs(on)), "s")
+		r.Metric(string(mode)+" mean PLT disabled", stats.Mean(allPLTs(off)), "s")
+	}
+	return r
+}
+
+// runRTTReset evaluates the paper's proposed fix: reset the RTT estimate
+// (and hence restore the conservative initial RTO) whenever the window
+// is validated after idle.
+func runRTTReset(h Harness) *Report {
+	r := NewReport("rttreset", "Resetting the RTT estimate after idle (§6.2.1)",
+		"initial RTO (multiple seconds) exceeds the promotion delay ⇒ no spurious timeout after idle ⇒ cwnd grows rapidly, page load times drop; SPDY benefits most (the paper proposes but does not measure this)")
+	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
+		base := sweep(h, Options{Mode: mode, Network: Net3G})
+		fix := sweep(h, Options{Mode: mode, Network: Net3G, ResetRTTAfterIdle: true})
+		bm, fm := stats.Mean(allPLTs(base)), stats.Mean(allPLTs(fix))
+		r.Metric(string(mode)+" mean PLT baseline", bm, "s")
+		r.Metric(string(mode)+" mean PLT with RTT reset", fm, "s")
+		r.Metric(string(mode)+" PLT improvement", 100*(bm-fm)/bm, "%")
+		r.Metric(string(mode)+" retx baseline", meanRetx(base), "retx")
+		r.Metric(string(mode)+" retx with RTT reset", meanRetx(fix), "retx")
+	}
+	r.Printf("ablation: on a stack whose DSACK undo is ineffective (the damage the paper")
+	r.Printf("observed persisting in Figure 12), the fix's PLT benefit is much larger:")
+	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
+		base := sweep(h, Options{Mode: mode, Network: Net3G, DisableUndo: true})
+		fix := sweep(h, Options{Mode: mode, Network: Net3G, DisableUndo: true, ResetRTTAfterIdle: true})
+		bm, fm := stats.Mean(allPLTs(base)), stats.Mean(allPLTs(fix))
+		r.Metric(string(mode)+" mean PLT baseline (no undo)", bm, "s")
+		r.Metric(string(mode)+" mean PLT with RTT reset (no undo)", fm, "s")
+		r.Metric(string(mode)+" PLT improvement (no undo)", 100*(bm-fm)/bm, "%")
+	}
+	return r
+}
+
+// runMetricsCache disables the per-destination TCP metrics cache.
+func runMetricsCache(h Harness) *Report {
+	r := NewReport("metricscache", "Disabling TCP metrics caching (§6.2.4)",
+		"both HTTP and SPDY load pages faster with caching disabled (~35% improvement for half the runs); little to distinguish the protocols")
+	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
+		on := sweep(h, Options{Mode: mode, Network: Net3G})
+		off := sweep(h, Options{Mode: mode, Network: Net3G, NoMetricsCache: true})
+		om, fm := stats.Mean(allPLTs(on)), stats.Mean(allPLTs(off))
+		// Paired per-page improvement distribution.
+		var imps []float64
+		onAll, offAll := allPLTs(on), allPLTs(off)
+		for i := range onAll {
+			if i < len(offAll) && onAll[i] > 0 {
+				imps = append(imps, 100*(onAll[i]-offAll[i])/onAll[i])
+			}
+		}
+		r.Metric(string(mode)+" mean PLT cache on", om, "s")
+		r.Metric(string(mode)+" mean PLT cache off", fm, "s")
+		r.Metric(string(mode)+" median per-page improvement", stats.Median(imps), "%")
+	}
+	return r
+}
+
+// runMultiConn stripes SPDY over 20 sessions with early binding (§6.1):
+// requests are pinned to a session when issued, so a session hit by
+// retransmissions still delays its pending objects.
+func runMultiConn(h Harness) *Report {
+	r := NewReport("multiconn", "SPDY over 20 connections (§6.1)",
+		"multiple connections do not improve SPDY page load times: early binding pins requests to stalled connections; late binding would be needed")
+	one := sweep(h, Options{Mode: browser.ModeSPDY, Network: Net3G, SPDYSessions: 1})
+	twenty := sweep(h, Options{Mode: browser.ModeSPDY, Network: Net3G, SPDYSessions: 20})
+	om, tm := stats.Mean(allPLTs(one)), stats.Mean(allPLTs(twenty))
+	r.Metric("SPDY mean PLT, 1 session", om, "s")
+	r.Metric("SPDY mean PLT, 20 sessions", tm, "s")
+	r.Metric("relative change (positive = 20 sessions worse)", stats.RelDiff(tm, om), "%")
+	r.Metric("retx/run, 1 session", meanRetx(one), "retx")
+	r.Metric("retx/run, 20 sessions", meanRetx(twenty), "retx")
+	return r
+}

@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"sort"
+
+	"spdier/internal/browser"
+	"spdier/internal/stats"
+)
+
+func init() {
+	register("fig3", "Page load time, HTTP vs SPDY over 3G (box plots)", runFig3)
+	register("fig4", "Page load time over 802.11g/broadband", runFig4)
+	register("fig16", "Page load time, HTTP vs SPDY over LTE (box plots)", runFig16)
+}
+
+// boxPerSite renders per-site box plots for both protocols and counts
+// who wins at the median.
+func boxPerSite(r *Report, network NetworkKind, h Harness) (httpWins, spdyWins, ties int) {
+	httpRes := sweep(h, Options{Mode: browser.ModeHTTP, Network: network})
+	spdyRes := sweep(h, Options{Mode: browser.ModeSPDY, Network: network})
+	httpSite := pltBySite(httpRes)
+	spdySite := pltBySite(spdyRes)
+
+	sites := make([]int, 0, len(httpSite))
+	for s := range httpSite {
+		sites = append(sites, s)
+	}
+	sort.Ints(sites)
+
+	r.Printf("%-5s | %-38s | %-38s | %s", "site", "HTTP  min/q1/med/q3/max (mean) [s]", "SPDY  min/q1/med/q3/max (mean) [s]", "winner")
+	for _, s := range sites {
+		hb := stats.Box(httpSite[s])
+		sb := stats.Box(spdySite[s])
+		win := "~"
+		switch {
+		case hb.Median < sb.Median*0.95:
+			win = "HTTP"
+			httpWins++
+		case sb.Median < hb.Median*0.95:
+			win = "SPDY"
+			spdyWins++
+		default:
+			ties++
+		}
+		r.Printf("%-5d | %5.1f %5.1f %5.1f %5.1f %5.1f (%5.1f) | %5.1f %5.1f %5.1f %5.1f %5.1f (%5.1f) | %s",
+			s, hb.Min, hb.Q1, hb.Median, hb.Q3, hb.Max, hb.Mean,
+			sb.Min, sb.Q1, sb.Median, sb.Q3, sb.Max, sb.Mean, win)
+	}
+	r.Metric("HTTP mean PLT", stats.Mean(allPLTs(httpRes)), "s")
+	r.Metric("SPDY mean PLT", stats.Mean(allPLTs(spdyRes)), "s")
+	r.Metric("HTTP mean retransmissions/run", meanRetx(httpRes), "retx")
+	r.Metric("SPDY mean retransmissions/run", meanRetx(spdyRes), "retx")
+	return httpWins, spdyWins, ties
+}
+
+func runFig3(h Harness) *Report {
+	r := NewReport("fig3", "Page load time, HTTP vs SPDY over 3G",
+		"no convincing winner: SPDY better on some sites (3,7), HTTP on others (1,4), most similar")
+	hw, sw, ties := boxPerSite(r, Net3G, h)
+	r.Metric("sites where HTTP wins at median", float64(hw), "sites")
+	r.Metric("sites where SPDY wins at median", float64(sw), "sites")
+	r.Metric("sites with no significant difference", float64(ties), "sites")
+	return r
+}
+
+func runFig4(h Harness) *Report {
+	r := NewReport("fig4", "Page load time over 802.11g/broadband",
+		"SPDY consistently better: 4% (site 4) to 56% (site 9) improvement")
+	httpRes := sweep(h, Options{Mode: browser.ModeHTTP, Network: NetWiFi})
+	spdyRes := sweep(h, Options{Mode: browser.ModeSPDY, Network: NetWiFi})
+	httpSite := pltBySite(httpRes)
+	spdySite := pltBySite(spdyRes)
+
+	sites := make([]int, 0, len(httpSite))
+	for s := range httpSite {
+		sites = append(sites, s)
+	}
+	sort.Ints(sites)
+
+	better := 0
+	var improvements []float64
+	r.Printf("%-5s | %-24s | %-24s | %s", "site", "HTTP mean ±95%CI [s]", "SPDY mean ±95%CI [s]", "SPDY improvement")
+	for _, s := range sites {
+		hm, hci := stats.Mean(httpSite[s]), stats.CI95(httpSite[s])
+		sm, sci := stats.Mean(spdySite[s]), stats.CI95(spdySite[s])
+		imp := stats.RelDiff(hm, sm) // positive = SPDY faster
+		if sm < hm {
+			better++
+			improvements = append(improvements, (hm-sm)/hm*100)
+		}
+		r.Printf("%-5d | %9.2f ± %6.2f     | %9.2f ± %6.2f     | %+6.1f%%", s, hm, hci, sm, sci, imp)
+	}
+	r.Metric("sites where SPDY is faster", float64(better), "of 20")
+	if len(improvements) > 0 {
+		r.Metric("min SPDY improvement", stats.Quantile(improvements, 0), "%")
+		r.Metric("max SPDY improvement", stats.Quantile(improvements, 1), "%")
+	}
+	r.Metric("HTTP mean PLT", stats.Mean(allPLTs(httpRes)), "s")
+	r.Metric("SPDY mean PLT", stats.Mean(allPLTs(spdyRes)), "s")
+	return r
+}
+
+func runFig16(h Harness) *Report {
+	r := NewReport("fig16", "Page load time, HTTP vs SPDY over LTE",
+		"both much faster than 3G; HTTP as good as SPDY initially, SPDY better after first pages; retx 8.9 (HTTP) vs 7.52 (SPDY)")
+	hw, sw, ties := boxPerSite(r, NetLTE, h)
+	r.Metric("sites where HTTP wins at median", float64(hw), "sites")
+	r.Metric("sites where SPDY wins at median", float64(sw), "sites")
+	r.Metric("sites with no significant difference", float64(ties), "sites")
+
+	// The paper notes SPDY pulls ahead after the first few pages once the
+	// session's window has grown; compare mean PLT over the first five
+	// visits to the rest.
+	httpRes := sweep(h, Options{Mode: browser.ModeHTTP, Network: NetLTE})
+	spdyRes := sweep(h, Options{Mode: browser.ModeSPDY, Network: NetLTE})
+	firstLast := func(results []*Result) (first, rest float64) {
+		var f, l []float64
+		for _, res := range results {
+			plts := res.PLTSeconds()
+			f = append(f, plts[:5]...)
+			l = append(l, plts[5:]...)
+		}
+		return stats.Mean(f), stats.Mean(l)
+	}
+	hf, hl := firstLast(httpRes)
+	sf, sl := firstLast(spdyRes)
+	r.Metric("HTTP mean PLT pages 1-5", hf, "s")
+	r.Metric("HTTP mean PLT pages 6-20", hl, "s")
+	r.Metric("SPDY mean PLT pages 1-5", sf, "s")
+	r.Metric("SPDY mean PLT pages 6-20", sl, "s")
+	return r
+}

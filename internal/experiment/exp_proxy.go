@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"spdier/internal/browser"
+	"spdier/internal/stats"
+)
+
+func init() {
+	register("fig8", "Proxy-side timing: origin fetch vs client transfer queue", runFig8)
+	register("fig9", "Average data transferred proxy→device per second", runFig9)
+}
+
+// runFig8 reproduces the proxy-side step timing: the origin leg is fast
+// (avg 14 ms wait, 4 ms download in the paper); the delay lives between
+// having the data and getting it onto the client link — SPDY moved the
+// bottleneck from the client to the proxy.
+func runFig8(h Harness) *Report {
+	r := NewReport("fig8", "Proxy-side object timing (SPDY)",
+		"origin wait avg 14 ms (max 46 ms), download avg 4 ms; transfer to client delayed significantly — responses queue at the proxy")
+	res := Run(Options{Mode: browser.ModeSPDY, Network: Net3G, Seed: h.Seed, FastOrigin: true})
+
+	var wait, dl, queue, transfer []float64
+	for _, pr := range res.Proxy.Records {
+		if pr.SendDone == 0 {
+			continue
+		}
+		wait = append(wait, pr.OriginWait().Seconds()*1000)
+		dl = append(dl, pr.OriginDownload().Seconds()*1000)
+		queue = append(queue, pr.QueueDelay().Seconds()*1000)
+		transfer = append(transfer, pr.Transfer().Seconds()*1000)
+	}
+	r.Metric("origin wait, mean", stats.Mean(wait), "ms")
+	r.Metric("origin wait, max", stats.Quantile(wait, 1), "ms")
+	r.Metric("origin download, mean", stats.Mean(dl), "ms")
+	r.Metric("proxy queue delay, mean", stats.Mean(queue), "ms")
+	r.Metric("proxy queue delay, p90", stats.Quantile(queue, 0.9), "ms")
+	r.Metric("client transfer, mean", stats.Mean(transfer), "ms")
+	r.Printf("objects measured: %d", len(wait))
+	r.Printf("shape check: queue delay + transfer dwarf the origin leg — the proxy-origin link is not the bottleneck")
+
+	// A representative per-object strip for one mid-run page, like the
+	// paper's randomly chosen sample execution.
+	r.Printf("%-6s %10s %10s %10s %10s  (ms; objects of one page in request order)", "obj", "wait", "origin-dl", "queue", "transfer")
+	n := 0
+	for _, pr := range res.Proxy.Records {
+		if pr.SendDone == 0 || pr.ReqArrived.Seconds() < 300 {
+			continue
+		}
+		r.Printf("%-6d %10.1f %10.1f %10.1f %10.1f", pr.Obj.ID,
+			pr.OriginWait().Seconds()*1000, pr.OriginDownload().Seconds()*1000,
+			pr.QueueDelay().Seconds()*1000, pr.Transfer().Seconds()*1000)
+		if n++; n >= 25 {
+			break
+		}
+	}
+	return r
+}
+
+// runFig9 bins downlink bytes per second, aligned on page starts, and
+// averages across runs: HTTP's parallel connections move more data per
+// second than SPDY's single window.
+func runFig9(h Harness) *Report {
+	r := NewReport("fig9", "Average data transferred per second",
+		"HTTP achieves higher per-second transfer than SPDY, sometimes 2×, despite identical link capacity")
+	series := make(map[browser.Mode]*stats.BinSeries)
+	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
+		agg := stats.NewBinSeries(1.0)
+		results := sweep(h, Options{Mode: mode, Network: Net3G})
+		for _, res := range results {
+			s := res.ThroughputSeries()
+			for i, v := range s.Bins {
+				agg.Add(float64(i), v)
+			}
+		}
+		agg.MeanOver(len(results))
+		series[mode] = agg
+	}
+
+	// Mean transfer during the busy part of each page window (first 20 s
+	// after each request) and the HTTP/SPDY ratio.
+	busyMean := func(s *stats.BinSeries) float64 {
+		var sum, n float64
+		for i, v := range s.Bins {
+			if i%60 < 20 && v > 0 {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / n
+	}
+	hb := busyMean(series[browser.ModeHTTP]) / 1024
+	sb := busyMean(series[browser.ModeSPDY]) / 1024
+	r.Metric("HTTP mean transfer while busy", hb, "KB/s")
+	r.Metric("SPDY mean transfer while busy", sb, "KB/s")
+	if sb > 0 {
+		r.Metric("HTTP/SPDY busy-transfer ratio", hb/sb, "×")
+	}
+
+	// Print the first two page windows second by second.
+	r.Printf("%-5s %12s %12s   (KB transferred in that second)", "t[s]", "HTTP", "SPDY")
+	for t := 0; t < 120; t += 2 {
+		hv, sv := 0.0, 0.0
+		if t < len(series[browser.ModeHTTP].Bins) {
+			hv = series[browser.ModeHTTP].Bins[t] / 1024
+		}
+		if t < len(series[browser.ModeSPDY].Bins) {
+			sv = series[browser.ModeSPDY].Bins[t] / 1024
+		}
+		r.Printf("%-5d %12.1f %12.1f", t, hv, sv)
+	}
+	return r
+}

@@ -1,0 +1,312 @@
+// Package experiment defines one registered experiment per table and
+// figure of the paper, plus the harness that runs a full field-test
+// session inside the simulator: 20 sites visited in a fixed random
+// order, 60 seconds apart, over a chosen access network and protocol,
+// with tcp_probe-style instrumentation — the in-silico equivalent of one
+// of the authors' overnight measurement runs.
+package experiment
+
+import (
+	"time"
+
+	"spdier/internal/browser"
+	"spdier/internal/netem"
+	"spdier/internal/proxy"
+	"spdier/internal/rrc"
+	"spdier/internal/sim"
+	"spdier/internal/stats"
+	"spdier/internal/tcpsim"
+	"spdier/internal/trace"
+	"spdier/internal/webpage"
+)
+
+// NetworkKind selects the access network under test.
+type NetworkKind string
+
+// Access networks.
+const (
+	Net3G   NetworkKind = "3g"
+	NetLTE  NetworkKind = "lte"
+	NetWiFi NetworkKind = "wifi"
+)
+
+// visitOrderSeed fixes the random site visit order, which the paper
+// generated once and reused across all experiments.
+const visitOrderSeed = 20131209 // CoNEXT'13 opening day
+
+// Options configures one simulated measurement run.
+type Options struct {
+	Network NetworkKind
+	Mode    browser.Mode
+	Seed    uint64
+
+	// Sites defaults to the Table 1 catalog.
+	Sites []webpage.SiteSpec
+	// Pages overrides generated pages entirely (test pages of §5.2).
+	Pages []*webpage.Page
+
+	// ThinkTime spaces page requests (60 s in the paper).
+	ThinkTime time.Duration
+
+	// PingKeepalive keeps the radio in DCH with a background ping
+	// (Figure 14).
+	PingKeepalive bool
+	// PingInterval and PingBytes shape the keep-alive traffic. The
+	// payload must exceed the FACH queue threshold so the device rides
+	// DCH rather than idling down to the shared channel.
+	PingInterval time.Duration
+	PingBytes    int
+
+	// SlowStartAfterIdleOff disables Linux cwnd validation (Figure 15).
+	SlowStartAfterIdleOff bool
+	// ResetRTTAfterIdle enables the paper's §6.2.1 fix.
+	ResetRTTAfterIdle bool
+	// CC selects "cubic" (default) or "reno" (Table 2).
+	CC string
+	// NoMetricsCache disables the destination cache (§6.2.4).
+	NoMetricsCache bool
+	// SPDYSessions stripes SPDY over N connections (§6.1).
+	SPDYSessions int
+	// SPDYLateBinding uses the §6.2 late-binding remedy when striping.
+	SPDYLateBinding bool
+	// Pipelining enables HTTP/1.1 pipelining (extension experiment).
+	Pipelining bool
+	// NoBeacons disables post-load periodic transfers.
+	NoBeacons bool
+	// FastOrigin uses the pure Figure 8 origin profile (the authors'
+	// dedicated test server) instead of the default real-web mixture.
+	FastOrigin bool
+	// DisableUndo models a TCP stack without effective DSACK undo
+	// (ablation for the §6.2.1 fix).
+	DisableUndo bool
+
+	// SampleEvery sets the telemetry sampling period (default 500 ms).
+	SampleEvery time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Mode == "" {
+		o.Mode = browser.ModeHTTP
+	}
+	if o.Network == "" {
+		o.Network = Net3G
+	}
+	if len(o.Sites) == 0 && len(o.Pages) == 0 {
+		o.Sites = webpage.Table1()
+	}
+	if o.ThinkTime == 0 {
+		o.ThinkTime = 60 * time.Second
+	}
+	if o.PingInterval == 0 {
+		o.PingInterval = 2 * time.Second
+	}
+	if o.PingBytes == 0 {
+		o.PingBytes = 600
+	}
+	if o.CC == "" {
+		o.CC = "cubic"
+	}
+	if o.SPDYSessions == 0 {
+		o.SPDYSessions = 1
+	}
+	if o.SampleEvery == 0 {
+		o.SampleEvery = 500 * time.Millisecond
+	}
+	return o
+}
+
+// Sample is one telemetry observation.
+type Sample struct {
+	At            sim.Time
+	InFlightBytes int   // sum over proxy-side connections (Fig. 10)
+	DownlinkBytes int64 // cumulative proxy→device wire bytes (Fig. 9)
+	ActiveConns   int
+}
+
+// Result is everything one run produces.
+type Result struct {
+	Opts       Options
+	VisitOrder []int               // indices into Pages
+	Pages      []*webpage.Page     // in visit order
+	Records    []*trace.PageRecord // in visit order
+	Recorder   *tcpsim.Recorder
+	Proxy      *proxy.Proxy
+	Net        *tcpsim.Network
+	Radio      *rrc.Machine // nil for WiFi
+	Samples    []Sample
+	RadioMJ    float64 // radio energy, millijoules
+	Duration   sim.Time
+}
+
+// PLTSeconds returns page load times in seconds, in visit order.
+func (r *Result) PLTSeconds() []float64 {
+	out := make([]float64, len(r.Records))
+	for i, rec := range r.Records {
+		out[i] = rec.PLT().Seconds()
+	}
+	return out
+}
+
+// PLTBySite maps Table 1 site index (1-based) to PLT seconds.
+func (r *Result) PLTBySite() map[int]float64 {
+	out := make(map[int]float64)
+	for i, rec := range r.Records {
+		site := r.VisitOrder[i] + 1
+		out[site] = rec.PLT().Seconds()
+	}
+	return out
+}
+
+// Retransmissions totals RTO retransmissions plus fast retransmits
+// across all proxy-side connections.
+func (r *Result) Retransmissions() int {
+	if r.Recorder == nil {
+		return 0
+	}
+	return r.Recorder.Retransmissions()
+}
+
+// ThroughputSeries bins downlink bytes per second from the samples.
+func (r *Result) ThroughputSeries() *stats.BinSeries {
+	s := stats.NewBinSeries(1.0)
+	var prev int64
+	for _, smp := range r.Samples {
+		s.Add(smp.At.Seconds(), float64(smp.DownlinkBytes-prev))
+		prev = smp.DownlinkBytes
+	}
+	return s
+}
+
+// buildNetwork assembles the radio, path and TCP demux for the run.
+func buildNetwork(loop *sim.Loop, kind NetworkKind, rng *sim.RNG) (*tcpsim.Network, *rrc.Machine) {
+	var radio *rrc.Machine
+	var pc netem.PathConfig
+	switch kind {
+	case Net3G:
+		radio = rrc.NewMachine(loop, rrc.Profile3G())
+		pc = netem.Profile3G()
+	case NetLTE:
+		radio = rrc.NewMachine(loop, rrc.ProfileLTE())
+		pc = netem.ProfileLTE()
+	case NetWiFi:
+		radio = nil
+		pc = netem.ProfileWiFi()
+	default:
+		panic("experiment: unknown network " + string(kind))
+	}
+	path := netem.NewPath(loop, pc, rng.Fork(0xBEEF), radio)
+	return tcpsim.NewNetwork(loop, path), radio
+}
+
+// GeneratePages builds the run's page set: deterministic for a given
+// seed, identical across protocol modes so comparisons are paired.
+func GeneratePages(sites []webpage.SiteSpec, seed uint64) []*webpage.Page {
+	pages := make([]*webpage.Page, len(sites))
+	base := sim.NewRNG(seed)
+	for i, spec := range sites {
+		pages[i] = webpage.Generate(spec, base.Fork(uint64(spec.Index)))
+	}
+	return pages
+}
+
+// VisitOrder returns the fixed pseudo-random visit order for n pages.
+func VisitOrder(n int) []int {
+	return sim.NewRNG(visitOrderSeed).Perm(n)
+}
+
+// Run executes one full measurement session and returns its Result.
+func Run(opts Options) *Result {
+	opts = opts.withDefaults()
+	loop := sim.NewLoop()
+	rng := sim.NewRNG(opts.Seed)
+	net, radio := buildNetwork(loop, opts.Network, rng)
+
+	rec := tcpsim.NewRecorder()
+	ocfg := proxy.DefaultOriginConfig()
+	if opts.FastOrigin {
+		ocfg = proxy.FastOriginConfig()
+	}
+	origin := proxy.NewOrigin(loop, ocfg, rng.Fork(0x0417))
+	prox := proxy.New(loop, origin)
+
+	bcfg := browser.DefaultConfig(opts.Mode)
+	bcfg.ProxyTCP.Probe = rec
+	bcfg.ProxyTCP.CC = opts.CC
+	bcfg.ProxyTCP.SlowStartAfterIdle = !opts.SlowStartAfterIdleOff
+	bcfg.ProxyTCP.ResetRTTAfterIdle = opts.ResetRTTAfterIdle
+	bcfg.ProxyTCP.DisableUndo = opts.DisableUndo
+	if !opts.NoMetricsCache {
+		bcfg.ProxyTCP.Metrics = tcpsim.NewMetricsCache()
+	}
+	bcfg.SPDYSessions = opts.SPDYSessions
+	bcfg.SPDYLateBinding = opts.SPDYLateBinding
+	bcfg.Pipelining = opts.Pipelining
+	bcfg.PipelineDepth = 4
+	bcfg.Beacons = !opts.NoBeacons
+	br := browser.New(loop, net, prox, bcfg, rng.Fork(0xB0B))
+
+	// Pages and visit order.
+	pages := opts.Pages
+	if pages == nil {
+		pages = GeneratePages(opts.Sites, opts.Seed)
+	}
+	order := VisitOrder(len(pages))
+
+	res := &Result{
+		Opts:       opts,
+		VisitOrder: order,
+		Recorder:   rec,
+		Proxy:      prox,
+		Net:        net,
+		Radio:      radio,
+	}
+
+	// Schedule page visits opts.ThinkTime apart.
+	records := make([]*trace.PageRecord, len(order))
+	for i, pi := range order {
+		i, pi := i, pi
+		page := pages[pi]
+		res.Pages = append(res.Pages, page)
+		loop.At(sim.Time(i)*sim.Time(opts.ThinkTime), func() {
+			br.LoadPage(page, func(pr *trace.PageRecord) { records[i] = pr })
+		})
+	}
+
+	// Keep-alive pinger (Figure 14).
+	if opts.PingKeepalive {
+		var ping func()
+		ping = func() {
+			net.Path().AtoB.Send("ping", opts.PingBytes)
+			loop.After(opts.PingInterval, ping)
+		}
+		loop.After(opts.PingInterval, ping)
+	}
+
+	// Telemetry sampling.
+	end := sim.Time(len(order))*sim.Time(opts.ThinkTime) + sim.Time(opts.ThinkTime)
+	var sampler func()
+	sampler = func() {
+		inflight := 0
+		for _, c := range br.ProxyConns() {
+			inflight += c.InFlightBytes()
+		}
+		res.Samples = append(res.Samples, Sample{
+			At:            loop.Now(),
+			InFlightBytes: inflight,
+			DownlinkBytes: net.Path().BtoA.Stats().Bytes,
+			ActiveConns:   br.ActiveConns(),
+		})
+		if loop.Now() < end {
+			loop.After(opts.SampleEvery, sampler)
+		}
+	}
+	loop.After(opts.SampleEvery, sampler)
+
+	loop.Run(end)
+	res.Records = records
+	res.Duration = loop.Now()
+	if radio != nil {
+		res.RadioMJ = radio.EnergyMilliJoules()
+	}
+	return res
+}

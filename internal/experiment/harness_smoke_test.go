@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"testing"
+
+	"spdier/internal/browser"
+)
+
+func TestHarnessSmoke3G(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full run")
+	}
+	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
+		res := Run(Options{Mode: mode, Network: Net3G, Seed: 7})
+		if len(res.Records) != 20 {
+			t.Fatalf("%s: %d page records", mode, len(res.Records))
+		}
+		for i, rec := range res.Records {
+			if rec == nil {
+				t.Fatalf("%s: page %d never completed", mode, i)
+			}
+			plt := rec.PLT().Seconds()
+			if plt <= 0.2 || plt > 56 {
+				t.Errorf("%s: page %d (%s) implausible PLT %.2fs aborted=%v objs=%d",
+					mode, i, rec.Page.Name, plt, rec.Aborted, len(rec.Objects))
+			}
+		}
+		t.Logf("%s: mean PLT %.2fs retx=%d conns=%d", mode,
+			mean(res.PLTSeconds()), res.Retransmissions(), len(res.Proxy.Records))
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

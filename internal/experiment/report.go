@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is the rendered output of one experiment: the same rows/series
+// the paper's table or figure shows, as text.
+type Report struct {
+	ID    string
+	Title string
+	// Paper summarizes what the paper found, so every report shows the
+	// expected shape next to the measured one.
+	Paper string
+
+	buf strings.Builder
+	// Metrics holds machine-readable headline numbers for tests and
+	// EXPERIMENTS.md generation.
+	Metrics map[string]float64
+}
+
+// NewReport creates an empty report.
+func NewReport(id, title, paper string) *Report {
+	return &Report{ID: id, Title: title, Paper: paper, Metrics: make(map[string]float64)}
+}
+
+// Printf appends a formatted line to the report body.
+func (r *Report) Printf(format string, args ...any) {
+	fmt.Fprintf(&r.buf, format, args...)
+	if !strings.HasSuffix(format, "\n") {
+		r.buf.WriteByte('\n')
+	}
+}
+
+// Metric records a headline number and prints it.
+func (r *Report) Metric(name string, value float64, unit string) {
+	r.Metrics[name] = value
+	r.Printf("  %-42s %10.2f %s", name, value, unit)
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.Paper)
+	}
+	b.WriteString(r.buf.String())
+	return b.String()
+}
+
+// Harness bounds an experiment's cost.
+type Harness struct {
+	// Runs is the number of seeds per condition (the paper ran each
+	// experiment many times across four months; we sweep seeds).
+	Runs int
+	// Seed is the base seed; run i uses Seed+i.
+	Seed uint64
+}
+
+// DefaultHarness gives enough runs for stable box plots while staying
+// fast enough for `go test -bench`.
+func DefaultHarness() Harness { return Harness{Runs: 5, Seed: 1} }
+
+// Spec is one registered experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func(Harness) *Report
+}
+
+var registry []Spec
+
+func register(id, title string, run func(Harness) *Report) {
+	registry = append(registry, Spec{ID: id, Title: title, Run: run})
+}
+
+// All returns every registered experiment, in registration order.
+func All() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Spec, bool) {
+	for _, s := range registry {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// IDs returns all experiment IDs sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sweep runs one condition across h.Runs seeds.
+func sweep(h Harness, base Options) []*Result {
+	out := make([]*Result, h.Runs)
+	for i := 0; i < h.Runs; i++ {
+		opts := base
+		opts.Seed = h.Seed + uint64(i)
+		out[i] = Run(opts)
+	}
+	return out
+}
+
+// pltBySite aggregates PLT samples (seconds) per Table 1 site index
+// across runs.
+func pltBySite(results []*Result) map[int][]float64 {
+	out := make(map[int][]float64)
+	for _, r := range results {
+		for site, plt := range r.PLTBySite() {
+			out[site] = append(out[site], plt)
+		}
+	}
+	return out
+}
+
+// allPLTs flattens every page-load time (seconds) across runs.
+func allPLTs(results []*Result) []float64 {
+	var out []float64
+	for _, r := range results {
+		out = append(out, r.PLTSeconds()...)
+	}
+	return out
+}
+
+// meanRetx averages total retransmissions per run.
+func meanRetx(results []*Result) float64 {
+	var s float64
+	for _, r := range results {
+		s += float64(r.Retransmissions())
+	}
+	return s / float64(len(results))
+}

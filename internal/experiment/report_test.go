@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportRendering(t *testing.T) {
+	r := NewReport("figX", "A title", "the paper said so")
+	r.Printf("line %d", 1)
+	r.Printf("line 2\n") // trailing newline must not double
+	r.Metric("some metric", 3.14159, "s")
+	out := r.String()
+	if !strings.HasPrefix(out, "== figX: A title ==\n") {
+		t.Fatalf("header: %q", out)
+	}
+	if !strings.Contains(out, "paper: the paper said so") {
+		t.Fatal("missing paper summary")
+	}
+	if strings.Contains(out, "line 2\n\n") {
+		t.Fatal("doubled newline")
+	}
+	if r.Metrics["some metric"] != 3.14159 {
+		t.Fatal("metric not recorded")
+	}
+	if !strings.Contains(out, "3.14 s") {
+		t.Fatalf("metric not printed: %q", out)
+	}
+}
+
+func TestReportWithoutPaperLine(t *testing.T) {
+	r := NewReport("x", "t", "")
+	if strings.Contains(r.String(), "paper:") {
+		t.Fatal("empty paper summary printed")
+	}
+}
+
+func TestDefaultHarness(t *testing.T) {
+	h := DefaultHarness()
+	if h.Runs < 2 || h.Seed == 0 {
+		t.Fatalf("harness %+v", h)
+	}
+}
+
+func TestGetUnknownExperiment(t *testing.T) {
+	if _, ok := Get("nope"); ok {
+		t.Fatal("unknown experiment resolved")
+	}
+}
+
+func TestSweepUsesDistinctSeeds(t *testing.T) {
+	h := Harness{Runs: 2, Seed: 10}
+	results := sweep(h, Options{Network: NetWiFi})
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	if results[0].Opts.Seed == results[1].Opts.Seed {
+		t.Fatal("seeds not swept")
+	}
+	// Different seeds must give different outcomes somewhere.
+	a, b := results[0].PLTSeconds(), results[1].PLTSeconds()
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed sweep produced identical runs")
+	}
+}

@@ -1,0 +1,265 @@
+package liveproxy
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"spdier/internal/httpwire"
+	"spdier/internal/spdy"
+)
+
+// FetchResult is one completed stream at the client.
+type FetchResult struct {
+	Path      string
+	Status    string
+	Body      []byte
+	FirstByte time.Duration // request write → SYN_REPLY
+	Done      time.Duration // request write → final DATA
+	Pushed    bool          // arrived via server push, never requested
+	Err       error
+}
+
+// SPDYClient multiplexes concurrent GETs over one SPDY session, as
+// Chrome did against the paper's SPDY proxy.
+type SPDYClient struct {
+	conn   net.Conn
+	framer *spdy.Framer
+
+	mu          sync.Mutex
+	writeMu     sync.Mutex
+	nextID      uint32
+	streams     map[uint32]*clientStream
+	pingWaiters []pingWaiter
+	pushed      chan FetchResult
+	err         error
+	done        chan struct{}
+}
+
+type clientStream struct {
+	path    string
+	started time.Time
+	res     FetchResult
+	ch      chan FetchResult
+}
+
+// DialSPDY opens a session to a SPDY proxy.
+func DialSPDY(addr string) (*SPDYClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("liveproxy: dial spdy: %w", err)
+	}
+	c := &SPDYClient{
+		conn:    conn,
+		framer:  spdy.NewFramer(conn),
+		nextID:  1,
+		streams: make(map[uint32]*clientStream),
+		pushed:  make(chan FetchResult, 32),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the session down.
+func (c *SPDYClient) Close() error { return c.conn.Close() }
+
+// Get starts a stream for host/path at the given priority and returns a
+// channel delivering the final result.
+func (c *SPDYClient) Get(host, path string, prio spdy.Priority) (<-chan FetchResult, error) {
+	st := &clientStream{path: path, ch: make(chan FetchResult, 1)}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	id := c.nextID
+	c.nextID += 2
+	c.streams[id] = st
+	c.mu.Unlock()
+
+	syn := spdy.SynStream{
+		StreamID: id,
+		Priority: prio,
+		Fin:      true,
+		Headers:  spdy.RequestHeaders("GET", "http", host, path, "spdier-client/1.0"),
+	}
+	st.started = time.Now()
+	c.writeMu.Lock()
+	err := c.framer.WriteFrame(syn)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.fail(err)
+		return nil, err
+	}
+	return st.ch, nil
+}
+
+// Ping sends a PING frame and returns the measured round trip.
+func (c *SPDYClient) Ping(id uint32, timeout time.Duration) (time.Duration, error) {
+	start := time.Now()
+	ch := make(chan struct{}, 1)
+	c.mu.Lock()
+	c.pingWaiters = append(c.pingWaiters, pingWaiter{id: id, ch: ch})
+	c.mu.Unlock()
+	c.writeMu.Lock()
+	err := c.framer.WriteFrame(spdy.Ping{ID: id})
+	c.writeMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	select {
+	case <-ch:
+		return time.Since(start), nil
+	case <-time.After(timeout):
+		return 0, fmt.Errorf("liveproxy: ping %d timed out", id)
+	case <-c.done:
+		return 0, fmt.Errorf("liveproxy: session closed")
+	}
+}
+
+type pingWaiter struct {
+	id uint32
+	ch chan struct{}
+}
+
+func (c *SPDYClient) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		close(c.done)
+		for id, st := range c.streams {
+			st.res.Err = err
+			if st.ch != nil {
+				st.ch <- st.res
+			}
+			delete(c.streams, id)
+		}
+	}
+	c.mu.Unlock()
+}
+
+func (c *SPDYClient) readLoop() {
+	for {
+		fr, err := c.framer.ReadFrame()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch fr := fr.(type) {
+		case spdy.SynStream:
+			// Server push: an even-numbered, server-initiated stream
+			// announcing a resource the client never requested.
+			if fr.StreamID%2 == 0 {
+				c.mu.Lock()
+				c.streams[fr.StreamID] = &clientStream{
+					path:    fr.Headers.Get(":path"),
+					started: time.Now(),
+					res: FetchResult{
+						Status: fr.Headers.Get(":status"),
+						Pushed: true,
+					},
+					ch: nil, // delivered via Pushed()
+				}
+				c.mu.Unlock()
+			}
+		case spdy.SynReply:
+			c.mu.Lock()
+			if st := c.streams[fr.StreamID]; st != nil {
+				st.res.Status = fr.Headers.Get(":status")
+				st.res.FirstByte = time.Since(st.started)
+				if fr.Fin {
+					c.finish(fr.StreamID, st)
+				}
+			}
+			c.mu.Unlock()
+		case spdy.DataFrame:
+			c.mu.Lock()
+			if st := c.streams[fr.StreamID]; st != nil {
+				st.res.Body = append(st.res.Body, fr.Data...)
+				if fr.Fin {
+					c.finish(fr.StreamID, st)
+				}
+			}
+			c.mu.Unlock()
+			// Flow control: return window credit for consumed bytes so
+			// the proxy can keep the stream moving (SPDY/3 §2.6.8).
+			if n := len(fr.Data); n > 0 {
+				c.writeMu.Lock()
+				werr := c.framer.WriteFrame(spdy.WindowUpdate{StreamID: fr.StreamID, Delta: uint32(n)})
+				c.writeMu.Unlock()
+				if werr != nil {
+					c.fail(werr)
+					return
+				}
+			}
+		case spdy.RstStream:
+			c.mu.Lock()
+			if st := c.streams[fr.StreamID]; st != nil {
+				st.res.Err = fmt.Errorf("liveproxy: stream %d reset, status %d", fr.StreamID, fr.Status)
+				c.finish(fr.StreamID, st)
+			}
+			c.mu.Unlock()
+		case spdy.Ping:
+			c.mu.Lock()
+			for i, w := range c.pingWaiters {
+				if w.id == fr.ID {
+					w.ch <- struct{}{}
+					c.pingWaiters = append(c.pingWaiters[:i], c.pingWaiters[i+1:]...)
+					break
+				}
+			}
+			c.mu.Unlock()
+		case spdy.Goaway:
+			c.fail(fmt.Errorf("liveproxy: GOAWAY status %d", fr.Status))
+			return
+		}
+	}
+}
+
+// finish must be called with c.mu held.
+func (c *SPDYClient) finish(id uint32, st *clientStream) {
+	st.res.Path = st.path
+	st.res.Done = time.Since(st.started)
+	if st.ch != nil {
+		st.ch <- st.res
+	} else {
+		// Server-pushed stream: hand to the push channel, dropping on
+		// overflow (pushes are best-effort hints).
+		select {
+		case c.pushed <- st.res:
+		default:
+		}
+	}
+	delete(c.streams, id)
+}
+
+// Pushed returns the channel of completed server-pushed resources.
+func (c *SPDYClient) Pushed() <-chan FetchResult { return c.pushed }
+
+// HTTPProxyGet performs one GET through an HTTP forward proxy over a
+// fresh connection (the per-request path of the Squid role).
+func HTTPProxyGet(proxyAddr, host, path string) (*httpwire.Response, time.Duration, error) {
+	start := time.Now()
+	conn, err := net.Dial("tcp", proxyAddr)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer conn.Close()
+	req := httpwire.Request{
+		Method:  "GET",
+		Target:  "http://" + host + path,
+		Headers: httpwire.DefaultRequestHeaders(host),
+	}
+	if _, err := conn.Write(req.Marshal()); err != nil {
+		return nil, 0, err
+	}
+	resp, err := httpwire.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp, time.Since(start), nil
+}

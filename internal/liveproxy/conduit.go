@@ -1,0 +1,156 @@
+package liveproxy
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conduit is a TCP relay that adds one-way latency and caps bandwidth in
+// both directions — a loopback stand-in for the cellular leg, so the
+// live proxy stack can be exercised under high-RTT conditions without a
+// modem (the role Dummynet played in the Google SPDY study the paper
+// cites).
+type Conduit struct {
+	ln     net.Listener
+	target string
+
+	// Delay is the added one-way latency per direction.
+	Delay time.Duration
+	// BandwidthBPS caps throughput per direction (0 = unlimited).
+	BandwidthBPS int64
+	// MaxBuffer bounds bytes buffered inside the conduit per direction;
+	// beyond it the reader blocks, pushing backpressure to the sender so
+	// upstream prioritization stays meaningful. Default 64 KiB.
+	MaxBuffer int
+
+	mu    sync.Mutex
+	conns int
+}
+
+// StartConduit relays addr → target with shaping.
+func StartConduit(addr, target string, delay time.Duration, bandwidthBPS int64) (*Conduit, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("liveproxy: conduit listen: %w", err)
+	}
+	c := &Conduit{ln: ln, target: target, Delay: delay, BandwidthBPS: bandwidthBPS}
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the conduit's listening address.
+func (c *Conduit) Addr() string { return c.ln.Addr().String() }
+
+// Conns returns the number of relayed connections.
+func (c *Conduit) Conns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conns
+}
+
+// Close stops accepting; existing relays drain.
+func (c *Conduit) Close() error { return c.ln.Close() }
+
+func (c *Conduit) acceptLoop() {
+	for {
+		down, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.Dial("tcp", c.target)
+		if err != nil {
+			down.Close()
+			continue
+		}
+		c.mu.Lock()
+		c.conns++
+		c.mu.Unlock()
+		go c.relay(down, up)
+		go c.relay(up, down)
+	}
+}
+
+// relay copies src→dst, delaying each chunk by Delay and pacing to the
+// bandwidth cap. Chunks are timestamped on arrival and released in
+// order, so the added latency does not also serialize throughput.
+func (c *Conduit) relay(src, dst net.Conn) {
+	defer dst.Close()
+	type chunk struct {
+		data []byte
+		due  time.Time
+	}
+	maxBuf := c.MaxBuffer
+	if maxBuf <= 0 {
+		maxBuf = 64 << 10
+	}
+	ch := make(chan chunk, 4096)
+	var mu sync.Mutex
+	queued := 0
+	spaceFree := sync.NewCond(&mu)
+	go func() {
+		defer close(ch)
+		var budgetAt time.Time
+		buf := make([]byte, 8<<10)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				mu.Lock()
+				for queued > maxBuf {
+					spaceFree.Wait()
+				}
+				queued += n
+				mu.Unlock()
+				data := make([]byte, n)
+				copy(data, buf[:n])
+				now := time.Now()
+				due := now.Add(c.Delay)
+				if c.BandwidthBPS > 0 {
+					tx := time.Duration(float64(n*8) / float64(c.BandwidthBPS) * float64(time.Second))
+					if budgetAt.Before(now) {
+						budgetAt = now
+					}
+					budgetAt = budgetAt.Add(tx)
+					if budgetAt.After(due) {
+						due = budgetAt
+					}
+				}
+				ch <- chunk{data: data, due: due}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	for ck := range ch {
+		if d := time.Until(ck.due); d > 0 {
+			time.Sleep(d)
+		}
+		_, err := dst.Write(ck.data)
+		mu.Lock()
+		queued -= len(ck.data)
+		spaceFree.Signal()
+		mu.Unlock()
+		if err != nil {
+			// Unblock and drain the reader side so its goroutine exits.
+			mu.Lock()
+			queued = 0
+			spaceFree.Broadcast()
+			mu.Unlock()
+			go func() {
+				for range ch {
+					mu.Lock()
+					queued = 0
+					spaceFree.Broadcast()
+					mu.Unlock()
+				}
+			}()
+			return
+		}
+	}
+}
+
+// Discard drains a reader (helper for benchmarks).
+func Discard(r io.Reader) (int64, error) { return io.Copy(io.Discard, r) }

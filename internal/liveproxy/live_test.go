@@ -1,0 +1,338 @@
+package liveproxy
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"spdier/internal/spdy"
+)
+
+// startStack brings up origin + SPDY proxy on loopback.
+func startStack(t *testing.T) (*Origin, *SPDYProxy, *SPDYClient) {
+	t.Helper()
+	origin, err := StartOrigin("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("origin: %v", err)
+	}
+	t.Cleanup(func() { origin.Close() })
+	proxy, err := StartSPDYProxy("127.0.0.1:0", origin.Addr())
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+	client, err := DialSPDY(proxy.Addr())
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return origin, proxy, client
+}
+
+func TestLiveSPDYSingleFetch(t *testing.T) {
+	_, _, client := startStack(t)
+	ch, err := client.Get("test.example", "/size/10000", 0)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	res := <-ch
+	if res.Err != nil {
+		t.Fatalf("fetch: %v", res.Err)
+	}
+	if res.Status != "200 OK" {
+		t.Fatalf("status %q", res.Status)
+	}
+	if !bytes.Equal(res.Body, Body(10000)) {
+		t.Fatalf("body corrupted: %d bytes", len(res.Body))
+	}
+	if res.FirstByte <= 0 || res.Done < res.FirstByte {
+		t.Fatalf("timing incoherent: fb=%v done=%v", res.FirstByte, res.Done)
+	}
+}
+
+func TestLiveSPDYConcurrentStreams(t *testing.T) {
+	origin, proxy, client := startStack(t)
+	const n = 40
+	chans := make([]<-chan FetchResult, n)
+	sizes := make([]int, n)
+	for i := 0; i < n; i++ {
+		sizes[i] = 1000 + i*517
+		ch, err := client.Get("test.example", "/size/"+itoa(sizes[i]), spdy.Priority(i%8))
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		res := <-ch
+		if res.Err != nil {
+			t.Fatalf("stream %d: %v", i, res.Err)
+		}
+		if !bytes.Equal(res.Body, Body(sizes[i])) {
+			t.Fatalf("stream %d: wrong body (%d bytes, want %d)", i, len(res.Body), sizes[i])
+		}
+	}
+	if got := origin.Served(); got != n {
+		t.Fatalf("origin served %d, want %d", got, n)
+	}
+	if sessions, streams := proxy.Stats(); sessions != 1 || streams != n {
+		t.Fatalf("proxy stats: sessions=%d streams=%d", sessions, streams)
+	}
+}
+
+func TestLiveSPDYPing(t *testing.T) {
+	_, _, client := startStack(t)
+	rtt, err := client.Ping(7, 2*time.Second)
+	if err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if rtt <= 0 || rtt > time.Second {
+		t.Fatalf("implausible loopback ping RTT %v", rtt)
+	}
+}
+
+func TestLiveHTTPProxy(t *testing.T) {
+	origin, err := StartOrigin("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("origin: %v", err)
+	}
+	defer origin.Close()
+	proxy, err := StartHTTPProxy("127.0.0.1:0", origin.Addr())
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer proxy.Close()
+
+	resp, elapsed, err := HTTPProxyGet(proxy.Addr(), "test.example", "/size/5000")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if resp.Status != 200 || !bytes.Equal(resp.Body, Body(5000)) {
+		t.Fatalf("bad response: %d, %d bytes", resp.Status, len(resp.Body))
+	}
+	if resp.Headers["Via"] == "" {
+		t.Fatalf("missing Via header")
+	}
+	if elapsed <= 0 {
+		t.Fatalf("bad timing %v", elapsed)
+	}
+}
+
+func TestLiveConduitAddsLatency(t *testing.T) {
+	origin, err := StartOrigin("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("origin: %v", err)
+	}
+	defer origin.Close()
+	proxy, err := StartSPDYProxy("127.0.0.1:0", origin.Addr())
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer proxy.Close()
+
+	const delay = 60 * time.Millisecond
+	conduit, err := StartConduit("127.0.0.1:0", proxy.Addr(), delay, 0)
+	if err != nil {
+		t.Fatalf("conduit: %v", err)
+	}
+	defer conduit.Close()
+
+	client, err := DialSPDY(conduit.Addr())
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	defer client.Close()
+
+	rtt, err := client.Ping(1, 5*time.Second)
+	if err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if rtt < 2*delay {
+		t.Fatalf("conduit failed to add latency: RTT %v < %v", rtt, 2*delay)
+	}
+	ch, err := client.Get("test.example", "/size/20000", 2)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	res := <-ch
+	if res.Err != nil || !bytes.Equal(res.Body, Body(20000)) {
+		t.Fatalf("shaped fetch failed: %v (%d bytes)", res.Err, len(res.Body))
+	}
+}
+
+func TestLivePriorityOrdering(t *testing.T) {
+	// Saturate the session through a slow conduit and verify that a
+	// high-priority response overtakes queued low-priority bulk data.
+	origin, err := StartOrigin("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("origin: %v", err)
+	}
+	defer origin.Close()
+	proxy, err := StartSPDYProxy("127.0.0.1:0", origin.Addr())
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer proxy.Close()
+	conduit, err := StartConduit("127.0.0.1:0", proxy.Addr(), 5*time.Millisecond, 4_000_000)
+	if err != nil {
+		t.Fatalf("conduit: %v", err)
+	}
+	defer conduit.Close()
+	client, err := DialSPDY(conduit.Addr())
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	defer client.Close()
+
+	var mu sync.Mutex
+	var order []string
+
+	// Three 400 KB low-priority objects, then a small high-priority one.
+	var wg sync.WaitGroup
+	collect := func(name string, ch <-chan FetchResult) {
+		defer wg.Done()
+		res := <-ch
+		if res.Err != nil {
+			t.Errorf("%s: %v", name, res.Err)
+			return
+		}
+		mu.Lock()
+		order = append(order, name)
+		mu.Unlock()
+	}
+	for i := 0; i < 3; i++ {
+		ch, err := client.Get("test.example", "/size/400000", 7)
+		if err != nil {
+			t.Fatalf("bulk get: %v", err)
+		}
+		wg.Add(1)
+		go collect("bulk", ch)
+	}
+	time.Sleep(50 * time.Millisecond) // let bulk queue up at the proxy
+	ch, err := client.Get("test.example", "/size/2000", 0)
+	if err != nil {
+		t.Fatalf("urgent get: %v", err)
+	}
+	wg.Add(1)
+	go collect("urgent", ch)
+	wg.Wait()
+
+	if len(order) != 4 {
+		t.Fatalf("expected 4 completions, got %v", order)
+	}
+	if order[0] != "urgent" {
+		t.Fatalf("high-priority stream did not finish first: %v", order)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestLiveServerPush(t *testing.T) {
+	origin, err := StartOrigin("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("origin: %v", err)
+	}
+	defer origin.Close()
+	proxy, err := StartSPDYProxy("127.0.0.1:0", origin.Addr())
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer proxy.Close()
+	proxy.PushMap = map[string][]string{
+		"/size/1000": {"/size/2000", "/size/3000"},
+	}
+	client, err := DialSPDY(proxy.Addr())
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	defer client.Close()
+
+	ch, err := client.Get("test.example", "/size/1000", 0)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	res := <-ch
+	if res.Err != nil || len(res.Body) != 1000 {
+		t.Fatalf("primary fetch: %v (%d bytes)", res.Err, len(res.Body))
+	}
+
+	got := map[string]int{}
+	for i := 0; i < 2; i++ {
+		select {
+		case p := <-client.Pushed():
+			if !p.Pushed {
+				t.Fatal("push not flagged")
+			}
+			if !bytes.Equal(p.Body, Body(len(p.Body))) {
+				t.Fatalf("pushed body corrupted: %s", p.Path)
+			}
+			got[p.Path] = len(p.Body)
+		case <-time.After(3 * time.Second):
+			t.Fatalf("push %d never arrived (got %v)", i, got)
+		}
+	}
+	if got["/size/2000"] != 2000 || got["/size/3000"] != 3000 {
+		t.Fatalf("pushed set wrong: %v", got)
+	}
+	// The origin served primary + 2 pushes, the client sent 1 request.
+	if origin.Served() != 3 {
+		t.Fatalf("origin served %d", origin.Served())
+	}
+}
+
+func TestLiveFlowControlLargeTransfer(t *testing.T) {
+	// 1 MB ≫ the 64 KiB initial stream window: the transfer only
+	// completes if WINDOW_UPDATE credit flows back correctly.
+	_, _, client := startStack(t)
+	ch, err := client.Get("test.example", "/size/1000000", 1)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	select {
+	case res := <-ch:
+		if res.Err != nil {
+			t.Fatalf("fetch: %v", res.Err)
+		}
+		if !bytes.Equal(res.Body, Body(1000000)) {
+			t.Fatalf("body corrupted: %d bytes", len(res.Body))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("flow-controlled transfer wedged")
+	}
+}
+
+func TestLiveFlowControlConcurrentLargeStreams(t *testing.T) {
+	_, _, client := startStack(t)
+	const n = 6
+	chans := make([]<-chan FetchResult, n)
+	for i := 0; i < n; i++ {
+		ch, err := client.Get("test.example", "/size/300000", spdy.Priority(i%8))
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		select {
+		case res := <-ch:
+			if res.Err != nil || len(res.Body) != 300000 {
+				t.Fatalf("stream %d: %v (%d bytes)", i, res.Err, len(res.Body))
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("stream %d wedged under per-stream flow control", i)
+		}
+	}
+}

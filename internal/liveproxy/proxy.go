@@ -1,0 +1,429 @@
+package liveproxy
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"spdier/internal/httpwire"
+	"spdier/internal/spdy"
+)
+
+// SPDYProxy accepts SPDY/3 sessions and proxies each stream to an
+// HTTP/1.1 origin — the role the Chromium flip server played in the
+// paper's deployment. Responses are scheduled strictly by SPDY priority
+// with round-robin chunk interleave within a class.
+type SPDYProxy struct {
+	ln net.Listener
+
+	// OriginOverride, when non-empty, routes every request to one origin
+	// address regardless of the :host header (test deployments).
+	OriginOverride string
+
+	// ChunkSize bounds DATA frame payloads (default 8 KiB).
+	ChunkSize int
+
+	// PushMap configures SPDY server push ("server-initiated data
+	// exchange", §2.2 of the paper): when a stream for a key path
+	// completes its fetch, the proxy pushes the associated paths on
+	// server-initiated (even-numbered) unidirectional streams, saving
+	// the client a round trip per resource.
+	PushMap map[string][]string
+
+	mu       sync.Mutex
+	streams  int
+	sessions int
+	closed   bool
+}
+
+// StartSPDYProxy listens for SPDY sessions on addr.
+func StartSPDYProxy(addr, originOverride string) (*SPDYProxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("liveproxy: spdy proxy listen: %w", err)
+	}
+	p := &SPDYProxy{ln: ln, OriginOverride: originOverride, ChunkSize: 8 << 10}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the listening address.
+func (p *SPDYProxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats returns (sessions accepted, streams served).
+func (p *SPDYProxy) Stats() (sessions, streams int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sessions, p.streams
+}
+
+// Close stops the listener.
+func (p *SPDYProxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	return p.ln.Close()
+}
+
+func (p *SPDYProxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		p.sessions++
+		p.mu.Unlock()
+		s := newProxySession(p, conn)
+		go s.readLoop()
+		go s.writeLoop()
+	}
+}
+
+// outFrame is one queued write with its SPDY priority.
+type outFrame struct {
+	prio  spdy.Priority
+	frame spdy.Frame
+}
+
+// proxySession is the server side of one SPDY connection.
+type proxySession struct {
+	p      *SPDYProxy
+	conn   net.Conn
+	framer *spdy.Framer
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      spdy.PriorityQueue[outFrame]
+	nextPushID uint32
+	flows      map[uint32]*streamFlow
+	closed     bool
+}
+
+// streamFlow is the SPDY/3 per-stream flow-control state: a 64 KiB send
+// window replenished by the client's WINDOW_UPDATE frames. DATA beyond
+// the window parks here until credit returns.
+type streamFlow struct {
+	window int
+	prio   spdy.Priority
+	parked []spdy.DataFrame
+}
+
+// initialStreamWindow is the SPDY/3 default per-stream window.
+const initialStreamWindow = 64 << 10
+
+func newProxySession(p *SPDYProxy, conn net.Conn) *proxySession {
+	// Keep the kernel send buffer small so prioritization decisions stay
+	// in the session's queue (where they can still reorder) rather than
+	// in socket buffers (where they cannot).
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetWriteBuffer(16 << 10)
+		tc.SetNoDelay(true)
+	}
+	s := &proxySession{
+		p:          p,
+		conn:       conn,
+		framer:     spdy.NewFramer(conn),
+		nextPushID: 2,
+		flows:      make(map[uint32]*streamFlow),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// enqueue schedules a frame for the write loop.
+func (s *proxySession) enqueue(prio spdy.Priority, fr spdy.Frame) {
+	s.mu.Lock()
+	s.queue.Push(prio, outFrame{prio: prio, frame: fr})
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+func (s *proxySession) shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.conn.Close()
+}
+
+// readLoop parses inbound frames; each SYN_STREAM spawns a fetch.
+func (s *proxySession) readLoop() {
+	defer s.shutdown()
+	for {
+		fr, err := s.framer.ReadFrame()
+		if err != nil {
+			return
+		}
+		switch fr := fr.(type) {
+		case spdy.SynStream:
+			s.p.mu.Lock()
+			s.p.streams++
+			s.p.mu.Unlock()
+			go s.fetch(fr)
+		case spdy.Ping:
+			// Echo pings immediately at top priority (RTT probes and the
+			// Figure 14 radio keep-alive).
+			s.enqueue(0, fr)
+		case spdy.Goaway:
+			return
+		case spdy.WindowUpdate:
+			s.credit(fr.StreamID, int(fr.Delta))
+		case spdy.RstStream, spdy.SettingsFrame, spdy.HeadersFrame, spdy.DataFrame:
+			// Request bodies and remaining session control are accepted
+			// and ignored: the proxy only serves GETs, as the paper's
+			// workload did.
+		}
+	}
+}
+
+// errBadGateway marks origin fetch failures.
+var errBadGateway = errors.New("liveproxy: origin fetch failed")
+
+// fetch retrieves the stream's object from the origin and enqueues the
+// response frames at the stream's priority.
+func (s *proxySession) fetch(syn spdy.SynStream) {
+	host := syn.Headers.Get(":host")
+	path := syn.Headers.Get(":path")
+	if path == "" {
+		path = "/"
+	}
+	addr := s.p.OriginOverride
+	if addr == "" {
+		addr = host
+		if !strings.Contains(addr, ":") {
+			addr += ":80"
+		}
+	}
+	resp, err := fetchHTTP(addr, host, path)
+	if err != nil {
+		s.enqueue(syn.Priority, spdy.RstStream{StreamID: syn.StreamID, Status: spdy.StatusRefusedStream})
+		return
+	}
+
+	s.enqueue(syn.Priority, spdy.SynReply{
+		StreamID: syn.StreamID,
+		Headers: spdy.ResponseHeaders(
+			fmt.Sprintf("%d %s", resp.Status, httpwire.StatusText(resp.Status)),
+			resp.Headers["Content-Type"], int64(len(resp.Body))),
+	})
+	s.enqueueBody(syn.StreamID, syn.Priority, resp.Body)
+
+	// Server push: resources associated with this path ride even-ID
+	// unidirectional streams without waiting to be asked for.
+	for _, assoc := range s.p.PushMap[path] {
+		go s.push(syn, host, addr, assoc)
+	}
+}
+
+// enqueueBody chunks a response body onto the write queue, honoring the
+// stream's flow-control window: chunks beyond the window park until the
+// client sends WINDOW_UPDATE credit.
+func (s *proxySession) enqueueBody(streamID uint32, prio spdy.Priority, body []byte) {
+	chunk := s.p.ChunkSize
+	if chunk <= 0 {
+		chunk = 8 << 10
+	}
+	s.mu.Lock()
+	fl := s.flows[streamID]
+	if fl == nil {
+		fl = &streamFlow{window: initialStreamWindow, prio: prio}
+		s.flows[streamID] = fl
+	}
+	for off := 0; ; off += chunk {
+		end := off + chunk
+		if end >= len(body) {
+			fl.parked = append(fl.parked, spdy.DataFrame{StreamID: streamID, Fin: true, Data: body[off:]})
+			break
+		}
+		fl.parked = append(fl.parked, spdy.DataFrame{StreamID: streamID, Data: body[off:end]})
+	}
+	s.drainFlowLocked(streamID, fl)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// drainFlowLocked moves parked DATA into the write queue while window
+// credit remains. Caller holds s.mu.
+func (s *proxySession) drainFlowLocked(streamID uint32, fl *streamFlow) {
+	for len(fl.parked) > 0 && fl.window >= len(fl.parked[0].Data) {
+		fr := fl.parked[0]
+		fl.parked = fl.parked[1:]
+		fl.window -= len(fr.Data)
+		s.queue.Push(fl.prio, outFrame{prio: fl.prio, frame: fr})
+		if fr.Fin && len(fl.parked) == 0 {
+			delete(s.flows, streamID)
+		}
+	}
+}
+
+// credit applies a WINDOW_UPDATE from the client.
+func (s *proxySession) credit(streamID uint32, delta int) {
+	s.mu.Lock()
+	if fl := s.flows[streamID]; fl != nil {
+		fl.window += delta
+		s.drainFlowLocked(streamID, fl)
+	}
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// push fetches one associated resource and streams it to the client on a
+// server-initiated stream tied to the triggering request.
+func (s *proxySession) push(parent spdy.SynStream, host, addr, path string) {
+	resp, err := fetchHTTP(addr, host, path)
+	if err != nil {
+		return // pushes are best-effort
+	}
+	s.mu.Lock()
+	id := s.nextPushID
+	s.nextPushID += 2
+	s.mu.Unlock()
+
+	h := spdy.ResponseHeaders("200 OK", resp.Headers["Content-Type"], int64(len(resp.Body)))
+	h[":scheme"] = "http"
+	h[":host"] = host
+	h[":path"] = path
+	s.enqueue(parent.Priority, spdy.SynStream{
+		StreamID: id,
+		AssocID:  parent.StreamID,
+		Priority: parent.Priority,
+		Headers:  h,
+	})
+	s.enqueueBody(id, parent.Priority, resp.Body)
+}
+
+// writeLoop drains the priority queue onto the wire. Because frames sit
+// in this queue (not the kernel buffer) until the socket accepts them,
+// late-arriving high-priority responses overtake queued low-priority
+// data — the prioritization SPDY promises.
+func (s *proxySession) writeLoop() {
+	for {
+		s.mu.Lock()
+		for s.queue.Len() == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		item, _ := s.queue.Pop()
+		s.mu.Unlock()
+		if err := s.framer.WriteFrame(item.frame); err != nil {
+			s.shutdown()
+			return
+		}
+	}
+}
+
+// fetchHTTP performs one HTTP/1.1 GET over a fresh connection.
+func fetchHTTP(addr, host, path string) (*httpwire.Response, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadGateway, err)
+	}
+	defer conn.Close()
+	req := httpwire.Request{
+		Method:  "GET",
+		Target:  path,
+		Headers: map[string]string{"Host": host, "Connection": "close"},
+	}
+	if _, err := conn.Write(req.Marshal()); err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadGateway, err)
+	}
+	resp, err := httpwire.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadGateway, err)
+	}
+	return resp, nil
+}
+
+// HTTPProxy is a minimal Squid-role forward proxy: absolute-form GETs
+// over persistent client connections, one outstanding request per
+// connection, no pipelining (matching the paper's configuration).
+type HTTPProxy struct {
+	ln             net.Listener
+	OriginOverride string
+
+	mu     sync.Mutex
+	served int
+}
+
+// StartHTTPProxy listens on addr.
+func StartHTTPProxy(addr, originOverride string) (*HTTPProxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("liveproxy: http proxy listen: %w", err)
+	}
+	p := &HTTPProxy{ln: ln, OriginOverride: originOverride}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the listening address.
+func (p *HTTPProxy) Addr() string { return p.ln.Addr().String() }
+
+// Served returns the number of proxied requests.
+func (p *HTTPProxy) Served() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.served
+}
+
+// Close stops the listener.
+func (p *HTTPProxy) Close() error { return p.ln.Close() }
+
+func (p *HTTPProxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		go p.serve(conn)
+	}
+}
+
+func (p *HTTPProxy) serve(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for {
+		req, err := httpwire.ReadRequest(br)
+		if err != nil {
+			return
+		}
+		host, path := splitAbsolute(req.Target)
+		addr := p.OriginOverride
+		if addr == "" {
+			addr = host
+			if !strings.Contains(addr, ":") {
+				addr += ":80"
+			}
+		}
+		resp, err := fetchHTTP(addr, host, path)
+		if err != nil {
+			resp = &httpwire.Response{Status: 502, Headers: map[string]string{"Content-Length": "0"}}
+		}
+		resp.Headers["Via"] = "1.1 spdier-proxy"
+		if _, err := conn.Write(resp.Marshal()); err != nil {
+			return
+		}
+		p.mu.Lock()
+		p.served++
+		p.mu.Unlock()
+	}
+}
+
+// splitAbsolute splits an absolute-form request target into host and path.
+func splitAbsolute(target string) (host, path string) {
+	rest := target
+	if i := strings.Index(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
+	}
+	if j := strings.IndexByte(rest, '/'); j >= 0 {
+		return rest[:j], rest[j:]
+	}
+	return rest, "/"
+}

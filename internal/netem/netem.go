@@ -1,0 +1,265 @@
+// Package netem emulates network paths inside the discrete-event
+// simulator: token-by-token serialization at a configured bandwidth,
+// propagation delay with optional jitter, drop-tail queueing, random
+// loss, and — for cellular paths — gating by an RRC radio state machine.
+//
+// The cellular gate is the load-bearing piece of the reproduction: when
+// the radio is idle, packets in either direction stall for the promotion
+// delay (~2 s on 3G). TCP, living above this layer, knows nothing about
+// it; the spurious retransmissions in the paper emerge from the timing
+// alone.
+package netem
+
+import (
+	"time"
+
+	"spdier/internal/rrc"
+	"spdier/internal/sim"
+)
+
+// Payload is an opaque unit carried across a link (a TCP segment model).
+type Payload any
+
+// Gate is anything that can stall and rate-limit a link. The RRC machine
+// implements it; wired links use no gate.
+type Gate interface {
+	// ReadyAt records activity of the given size now and returns the
+	// earliest time the radio can carry it.
+	ReadyAt(bytes int) sim.Time
+	// CurrentRate returns a rate ceiling in bits/sec (0 = unconstrained).
+	CurrentRate() int64
+}
+
+var _ Gate = (*rrc.Machine)(nil)
+
+// LinkConfig describes one direction of a path.
+type LinkConfig struct {
+	// BandwidthBPS is the serialization rate in bits per second.
+	BandwidthBPS int64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Jitter adds a truncated-normal random term (stddev = Jitter) to the
+	// propagation delay of every packet. Reordering is prevented.
+	Jitter time.Duration
+	// QueueBytes bounds the drop-tail queue (bytes awaiting or under
+	// serialization). Zero means a generous default of 256 KiB.
+	QueueBytes int
+	// LossRate is the independent per-packet drop probability.
+	LossRate float64
+}
+
+func (c LinkConfig) queueLimit() int {
+	if c.QueueBytes <= 0 {
+		return 256 << 10
+	}
+	return c.QueueBytes
+}
+
+// LinkStats counts per-link activity.
+type LinkStats struct {
+	Sent         int
+	Delivered    int
+	DroppedQueue int
+	DroppedLoss  int
+	Bytes        int64
+}
+
+// Link is one direction of a network path.
+type Link struct {
+	loop *sim.Loop
+	cfg  LinkConfig
+	rng  *sim.RNG
+	gate Gate
+
+	receiver func(Payload)
+
+	// busyUntil is when the serializer frees up.
+	busyUntil sim.Time
+	// queuedBytes tracks backlog for drop-tail accounting.
+	queuedBytes int
+	// lastArrival enforces FIFO delivery despite jitter.
+	lastArrival sim.Time
+
+	stats LinkStats
+}
+
+// NewLink creates a link. gate may be nil (wired/WiFi).
+func NewLink(loop *sim.Loop, cfg LinkConfig, rng *sim.RNG, gate Gate) *Link {
+	return &Link{loop: loop, cfg: cfg, rng: rng, gate: gate}
+}
+
+// SetReceiver installs the delivery callback for the far end.
+func (l *Link) SetReceiver(fn func(Payload)) { l.receiver = fn }
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Config returns the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// transmissionTime returns how long size bytes occupy the serializer,
+// honoring any rate ceiling from the gate (e.g. CELL_FACH's shared
+// low-rate channel).
+func (l *Link) transmissionTime(size int) time.Duration {
+	bps := l.cfg.BandwidthBPS
+	if l.gate != nil {
+		if r := l.gate.CurrentRate(); r > 0 && r < bps {
+			bps = r
+		}
+	}
+	if bps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size*8) / float64(bps) * float64(time.Second))
+}
+
+// Send enqueues a payload of the given wire size. It reports false if the
+// packet was dropped (queue overflow or random loss).
+func (l *Link) Send(p Payload, size int) bool {
+	l.stats.Sent++
+	now := l.loop.Now()
+
+	if l.queuedBytes+size > l.cfg.queueLimit() {
+		l.stats.DroppedQueue++
+		return false
+	}
+	if l.cfg.LossRate > 0 && l.rng.Bool(l.cfg.LossRate) {
+		l.stats.DroppedLoss++
+		return false
+	}
+
+	// Radio gating: the packet cannot begin serialization before the
+	// radio is ready. ReadyAt also resets the RRC inactivity timers.
+	ready := now
+	if l.gate != nil {
+		ready = l.gate.ReadyAt(size)
+	}
+
+	start := l.busyUntil
+	if start < ready {
+		start = ready
+	}
+	if start < now {
+		start = now
+	}
+	txTime := l.transmissionTime(size)
+	done := start.Add(txTime)
+	l.busyUntil = done
+	l.queuedBytes += size
+
+	// Propagation with jitter; clamp to preserve FIFO ordering.
+	prop := l.cfg.Delay
+	if l.cfg.Jitter > 0 {
+		j := l.rng.Norm(0, float64(l.cfg.Jitter))
+		prop += time.Duration(j)
+		if prop < l.cfg.Delay/2 {
+			prop = l.cfg.Delay / 2
+		}
+	}
+	arrive := done.Add(prop)
+	if arrive < l.lastArrival {
+		arrive = l.lastArrival
+	}
+	l.lastArrival = arrive
+
+	l.loop.At(done, func() { l.queuedBytes -= size })
+	l.loop.At(arrive, func() {
+		l.stats.Delivered++
+		l.stats.Bytes += int64(size)
+		if l.receiver != nil {
+			l.receiver(p)
+		}
+	})
+	return true
+}
+
+// Path is a duplex pair of links, optionally sharing one radio gate.
+// Direction A→B is conventionally "uplink" (device to proxy) and B→A
+// "downlink" (proxy to device).
+type Path struct {
+	AtoB  *Link
+	BtoA  *Link
+	Radio *rrc.Machine
+}
+
+// PathConfig configures both directions of a path.
+type PathConfig struct {
+	Up   LinkConfig // A→B
+	Down LinkConfig // B→A
+}
+
+// NewPath builds a duplex path. radio may be nil for wired/WiFi.
+func NewPath(loop *sim.Loop, cfg PathConfig, rng *sim.RNG, radio *rrc.Machine) *Path {
+	var gate Gate
+	if radio != nil {
+		gate = radio
+	}
+	return &Path{
+		AtoB:  NewLink(loop, cfg.Up, rng.Fork(1), gate),
+		BtoA:  NewLink(loop, cfg.Down, rng.Fork(2), gate),
+		Radio: radio,
+	}
+}
+
+// Profile3G describes the client↔proxy leg over a production 3G (UMTS)
+// network: a few Mbit/s down, high and variable latency, deep buffers.
+func Profile3G() PathConfig {
+	return PathConfig{
+		Up: LinkConfig{
+			BandwidthBPS: 1_500_000,
+			Delay:        70 * time.Millisecond,
+			Jitter:       45 * time.Millisecond,
+			QueueBytes:   192 << 10,
+			LossRate:     0.0003,
+		},
+		Down: LinkConfig{
+			BandwidthBPS: 6_000_000,
+			Delay:        70 * time.Millisecond,
+			Jitter:       45 * time.Millisecond,
+			QueueBytes:   1 << 20,
+			LossRate:     0.0003,
+		},
+	}
+}
+
+// ProfileLTE describes the client↔proxy leg over LTE: higher rate,
+// much lower and steadier latency.
+func ProfileLTE() PathConfig {
+	return PathConfig{
+		Up: LinkConfig{
+			BandwidthBPS: 8_000_000,
+			Delay:        25 * time.Millisecond,
+			Jitter:       6 * time.Millisecond,
+			QueueBytes:   256 << 10,
+			LossRate:     0.0005,
+		},
+		Down: LinkConfig{
+			BandwidthBPS: 20_000_000,
+			Delay:        25 * time.Millisecond,
+			Jitter:       6 * time.Millisecond,
+			QueueBytes:   1 << 20,
+			LossRate:     0.0005,
+		},
+	}
+}
+
+// ProfileWiFi describes the 802.11g + residential broadband setup of
+// Section 4.0.1: 15 Mbit/s down / 2 Mbit/s up, stable ~20 ms latency.
+func ProfileWiFi() PathConfig {
+	return PathConfig{
+		Up: LinkConfig{
+			BandwidthBPS: 2_000_000,
+			Delay:        20 * time.Millisecond,
+			Jitter:       3 * time.Millisecond,
+			QueueBytes:   128 << 10,
+			LossRate:     0.0002,
+		},
+		Down: LinkConfig{
+			BandwidthBPS: 15_000_000,
+			Delay:        20 * time.Millisecond,
+			Jitter:       3 * time.Millisecond,
+			QueueBytes:   640 << 10,
+			LossRate:     0.0002,
+		},
+	}
+}

@@ -1,0 +1,206 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"spdier/internal/rrc"
+	"spdier/internal/sim"
+)
+
+func fastLink(loop *sim.Loop, cfg LinkConfig, seed uint64) *Link {
+	return NewLink(loop, cfg, sim.NewRNG(seed), nil)
+}
+
+func TestSerializationRate(t *testing.T) {
+	loop := sim.NewLoop()
+	l := fastLink(loop, LinkConfig{BandwidthBPS: 8_000_000, Delay: 0}, 1)
+	var arrived []sim.Time
+	l.SetReceiver(func(Payload) { arrived = append(arrived, loop.Now()) })
+	// 1000 bytes at 8 Mbit/s = exactly 1 ms each.
+	l.Send("a", 1000)
+	l.Send("b", 1000)
+	l.Send("c", 1000)
+	loop.RunUntilIdle()
+	for i, want := range []sim.Time{sim.Time(time.Millisecond), sim.Time(2 * time.Millisecond), sim.Time(3 * time.Millisecond)} {
+		if arrived[i] != want {
+			t.Fatalf("packet %d arrived %v, want %v", i, arrived[i], want)
+		}
+	}
+}
+
+func TestPropagationDelayAdds(t *testing.T) {
+	loop := sim.NewLoop()
+	l := fastLink(loop, LinkConfig{BandwidthBPS: 8_000_000, Delay: 50 * time.Millisecond}, 1)
+	var at sim.Time
+	l.SetReceiver(func(Payload) { at = loop.Now() })
+	l.Send("x", 1000)
+	loop.RunUntilIdle()
+	if want := sim.Time(51 * time.Millisecond); at != want {
+		t.Fatalf("arrival %v, want %v", at, want)
+	}
+}
+
+func TestFIFOPreservedUnderJitter(t *testing.T) {
+	loop := sim.NewLoop()
+	l := fastLink(loop, LinkConfig{BandwidthBPS: 100_000_000, Delay: 20 * time.Millisecond, Jitter: 15 * time.Millisecond}, 42)
+	var got []int
+	l.SetReceiver(func(p Payload) { got = append(got, p.(int)) })
+	for i := 0; i < 200; i++ {
+		l.Send(i, 200)
+	}
+	loop.RunUntilIdle()
+	if len(got) != 200 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("reordering at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestQueueDropTail(t *testing.T) {
+	loop := sim.NewLoop()
+	l := fastLink(loop, LinkConfig{BandwidthBPS: 1_000_000, Delay: 0, QueueBytes: 5000}, 1)
+	delivered := 0
+	l.SetReceiver(func(Payload) { delivered++ })
+	accepted := 0
+	for i := 0; i < 20; i++ {
+		if l.Send(i, 1000) {
+			accepted++
+		}
+	}
+	loop.RunUntilIdle()
+	if accepted != 5 {
+		t.Fatalf("accepted %d with a 5000-byte queue", accepted)
+	}
+	if delivered != accepted {
+		t.Fatalf("delivered %d != accepted %d", delivered, accepted)
+	}
+	if st := l.Stats(); st.DroppedQueue != 15 {
+		t.Fatalf("dropped %d", st.DroppedQueue)
+	}
+}
+
+func TestQueueDrainsOverTime(t *testing.T) {
+	loop := sim.NewLoop()
+	l := fastLink(loop, LinkConfig{BandwidthBPS: 1_000_000, Delay: 0, QueueBytes: 5000}, 1)
+	l.SetReceiver(func(Payload) {})
+	for i := 0; i < 5; i++ {
+		l.Send(i, 1000)
+	}
+	if l.Send("over", 1000) {
+		t.Fatal("queue should be full")
+	}
+	loop.Run(loop.Now().Add(50 * time.Millisecond))
+	if !l.Send("later", 1000) {
+		t.Fatal("queue should have drained")
+	}
+}
+
+func TestRandomLossRate(t *testing.T) {
+	loop := sim.NewLoop()
+	l := fastLink(loop, LinkConfig{BandwidthBPS: 1_000_000_000, Delay: 0, LossRate: 0.1, QueueBytes: 1 << 30}, 3)
+	dropped := 0
+	for i := 0; i < 10000; i++ {
+		if !l.Send(i, 100) {
+			dropped++
+		}
+	}
+	if dropped < 850 || dropped > 1150 {
+		t.Fatalf("loss rate off: %d/10000", dropped)
+	}
+	if st := l.Stats(); st.DroppedLoss != dropped {
+		t.Fatalf("stats mismatch: %d vs %d", st.DroppedLoss, dropped)
+	}
+}
+
+func TestRadioGateStallsDelivery(t *testing.T) {
+	loop := sim.NewLoop()
+	radio := rrc.NewMachine(loop, rrc.Profile3G())
+	l := NewLink(loop, LinkConfig{BandwidthBPS: 8_000_000, Delay: 10 * time.Millisecond}, sim.NewRNG(1), radio)
+	var at sim.Time
+	l.SetReceiver(func(Payload) { at = loop.Now() })
+	l.Send("x", 1400)
+	loop.RunUntilIdle()
+	// 2 s promotion + ~1.4 ms serialization + 10 ms propagation.
+	if at < sim.Time(2011*time.Millisecond) || at > sim.Time(2013*time.Millisecond) {
+		t.Fatalf("gated arrival %v", at)
+	}
+}
+
+func TestFACHRateCeiling(t *testing.T) {
+	loop := sim.NewLoop()
+	radio := rrc.NewMachine(loop, rrc.Profile3G())
+	l := NewLink(loop, LinkConfig{BandwidthBPS: 8_000_000, Delay: 0}, sim.NewRNG(1), radio)
+	var at sim.Time
+	l.SetReceiver(func(Payload) { at = loop.Now() })
+	// Promote, then let the radio fall back to FACH.
+	radio.ReadyAt(1400)
+	loop.Run(sim.Time(9 * time.Second))
+	if radio.State() != rrc.FACH {
+		t.Fatalf("precondition %v", radio.State())
+	}
+	start := loop.Now()
+	l.Send("small", 400) // rides FACH at 16 kbit/s: 400B = 200 ms
+	loop.RunUntilIdle()
+	ser := at.Sub(start)
+	if ser < 190*time.Millisecond || ser > 210*time.Millisecond {
+		t.Fatalf("FACH serialization %v, want ≈200ms", ser)
+	}
+}
+
+func TestPathDuplexSharesRadio(t *testing.T) {
+	loop := sim.NewLoop()
+	radio := rrc.NewMachine(loop, rrc.Profile3G())
+	p := NewPath(loop, Profile3G(), sim.NewRNG(9), radio)
+	if p.Radio != radio {
+		t.Fatal("radio not attached")
+	}
+	var upAt, downAt sim.Time
+	p.AtoB.SetReceiver(func(Payload) { upAt = loop.Now() })
+	p.BtoA.SetReceiver(func(Payload) { downAt = loop.Now() })
+	p.AtoB.Send("up", 1400)   // triggers promotion
+	p.BtoA.Send("down", 1400) // rides the same promotion
+	loop.RunUntilIdle()
+	if upAt < sim.Time(2*time.Second) || downAt < sim.Time(2*time.Second) {
+		t.Fatalf("promotion did not stall both directions: up=%v down=%v", upAt, downAt)
+	}
+	if downAt > sim.Time(2500*time.Millisecond) {
+		t.Fatalf("downlink stalled past shared promotion: %v", downAt)
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	for name, pc := range map[string]PathConfig{
+		"3g": Profile3G(), "lte": ProfileLTE(), "wifi": ProfileWiFi(),
+	} {
+		if pc.Down.BandwidthBPS <= pc.Up.BandwidthBPS {
+			t.Errorf("%s: downlink should exceed uplink", name)
+		}
+		if pc.Up.Delay <= 0 || pc.Down.Delay <= 0 {
+			t.Errorf("%s: zero delay", name)
+		}
+		if pc.Down.QueueBytes < 256<<10 {
+			t.Errorf("%s: queue too shallow for IW bursts", name)
+		}
+	}
+	lte, g3 := ProfileLTE(), Profile3G()
+	if lte.Down.Delay >= g3.Down.Delay {
+		t.Error("LTE latency should undercut 3G")
+	}
+}
+
+func TestLinkStatsBytes(t *testing.T) {
+	loop := sim.NewLoop()
+	l := fastLink(loop, LinkConfig{BandwidthBPS: 8_000_000, Delay: 0}, 1)
+	l.SetReceiver(func(Payload) {})
+	l.Send("a", 1000)
+	l.Send("b", 500)
+	loop.RunUntilIdle()
+	st := l.Stats()
+	if st.Bytes != 1500 || st.Sent != 2 || st.Delivered != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}

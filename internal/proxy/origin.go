@@ -1,0 +1,143 @@
+// Package proxy implements the cloud-hosted intermediaries of the paper's
+// test setup (Figure 2): an HTTP proxy with persistent connections
+// (Squid-like) and a SPDY proxy multiplexing all traffic onto one
+// prioritized session (Chromium flip-server-like). Both share one origin
+// fetch model, so protocol comparisons isolate the client↔proxy leg —
+// the same reason the authors ran both proxies on the same VM.
+package proxy
+
+import (
+	"time"
+
+	"spdier/internal/sim"
+	"spdier/internal/trace"
+	"spdier/internal/webpage"
+)
+
+// OriginConfig parameterizes the proxy↔origin leg. Figure 8 measured an
+// average 14 ms (max 46 ms) to first byte and ~4 ms download, showing
+// this leg is never the bottleneck; the defaults reproduce those
+// distributions.
+type OriginConfig struct {
+	// WaitMedian is the median request-to-first-byte latency for the
+	// fast (CDN-served) majority of objects.
+	WaitMedian time.Duration
+	// WaitSigma is the log-normal shape of the wait distribution.
+	WaitSigma float64
+	// WaitMax truncates the fast wait (the paper observed a 46 ms max
+	// on its sampled site).
+	WaitMax time.Duration
+	// SlowFraction of objects take a dynamic-generation/third-party
+	// wait instead (SlowMedian/SlowSigma/SlowMax). Real pages mix
+	// CDN-fast assets with slow ad and analytics endpoints; overlapping
+	// these waits is a core SPDY-via-proxy advantage.
+	SlowFraction float64
+	SlowMedian   time.Duration
+	SlowSigma    float64
+	SlowMax      time.Duration
+	// BandwidthBPS is the effective origin→proxy download rate.
+	BandwidthBPS int64
+	// DownloadFloor is a fixed per-object transfer cost.
+	DownloadFloor time.Duration
+}
+
+// DefaultOriginConfig returns a mixture: ~80% of objects come back with
+// the Figure 8 fast profile (median 12 ms, max 46 ms); the rest carry a
+// realistic dynamic-content tail.
+func DefaultOriginConfig() OriginConfig {
+	return OriginConfig{
+		WaitMedian:    12 * time.Millisecond,
+		WaitSigma:     0.4,
+		WaitMax:       46 * time.Millisecond,
+		SlowFraction:  0.2,
+		SlowMedian:    220 * time.Millisecond,
+		SlowSigma:     0.5,
+		SlowMax:       2 * time.Second,
+		BandwidthBPS:  400_000_000,
+		DownloadFloor: 2 * time.Millisecond,
+	}
+}
+
+// FastOriginConfig is the pure Figure 8 profile (the paper's dedicated
+// test server), used by the experiments that reproduce that figure.
+func FastOriginConfig() OriginConfig {
+	cfg := DefaultOriginConfig()
+	cfg.SlowFraction = 0
+	return cfg
+}
+
+// Origin simulates fetching objects from web servers over the proxy's
+// fat, low-latency cloud uplink.
+type Origin struct {
+	loop *sim.Loop
+	cfg  OriginConfig
+	rng  *sim.RNG
+}
+
+// NewOrigin creates an origin fetch model.
+func NewOrigin(loop *sim.Loop, cfg OriginConfig, rng *sim.RNG) *Origin {
+	return &Origin{loop: loop, cfg: cfg, rng: rng}
+}
+
+// Fetch retrieves obj: firstByte fires when the origin starts responding,
+// done fires when the full body is at the proxy.
+func (o *Origin) Fetch(obj *webpage.Object, firstByte, done func()) {
+	var wait time.Duration
+	if o.cfg.SlowFraction > 0 && o.rng.Bool(o.cfg.SlowFraction) {
+		wait = time.Duration(o.rng.LogNorm(float64(o.cfg.SlowMedian), o.cfg.SlowSigma))
+		if wait > o.cfg.SlowMax {
+			wait = o.cfg.SlowMax
+		}
+	} else {
+		wait = time.Duration(o.rng.LogNorm(float64(o.cfg.WaitMedian), o.cfg.WaitSigma))
+		if wait > o.cfg.WaitMax {
+			wait = o.cfg.WaitMax
+		}
+	}
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	dl := o.cfg.DownloadFloor
+	if o.cfg.BandwidthBPS > 0 {
+		dl += time.Duration(float64(obj.Size*8) / float64(o.cfg.BandwidthBPS) * float64(time.Second))
+	}
+	o.loop.After(wait, func() {
+		if firstByte != nil {
+			firstByte()
+		}
+		o.loop.After(dl, func() {
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// Proxy aggregates the shared origin model and the per-object proxy-side
+// records for Figure 8.
+type Proxy struct {
+	Loop    *sim.Loop
+	Origin  *Origin
+	Records []*trace.ProxyRecord
+}
+
+// New creates a proxy host with the given origin model.
+func New(loop *sim.Loop, origin *Origin) *Proxy {
+	return &Proxy{Loop: loop, Origin: origin}
+}
+
+// record appends r to the proxy log and returns it.
+func (p *Proxy) record(obj *webpage.Object) *trace.ProxyRecord {
+	r := &trace.ProxyRecord{Obj: obj, ReqArrived: p.Loop.Now()}
+	p.Records = append(p.Records, r)
+	return r
+}
+
+// ResponseHooks are the browser-side callbacks the proxy fires through
+// the client connection's stream assembler as response bytes land.
+type ResponseHooks struct {
+	// OnFirstByte fires when the response head is delivered client-side.
+	OnFirstByte func()
+	// OnDone fires when the final body byte is delivered client-side.
+	OnDone func()
+}

@@ -1,0 +1,220 @@
+package rrc
+
+import (
+	"testing"
+	"time"
+
+	"spdier/internal/sim"
+)
+
+func new3G(t *testing.T) (*sim.Loop, *Machine) {
+	t.Helper()
+	loop := sim.NewLoop()
+	return loop, NewMachine(loop, Profile3G())
+}
+
+func TestInitialStates(t *testing.T) {
+	loop := sim.NewLoop()
+	if s := NewMachine(loop, Profile3G()).State(); s != Idle3G {
+		t.Fatalf("3G initial %v", s)
+	}
+	if s := NewMachine(loop, ProfileLTE()).State(); s != IdleLTE {
+		t.Fatalf("LTE initial %v", s)
+	}
+	if s := NewMachine(loop, ProfileAlwaysOn()).State(); s != AlwaysOn {
+		t.Fatalf("always-on initial %v", s)
+	}
+}
+
+func Test3GPromotionDelay(t *testing.T) {
+	loop, m := new3G(t)
+	ready := m.ReadyAt(1400)
+	if ready != sim.Time(2*time.Second) {
+		t.Fatalf("IDLE promotion ready at %v, want 2s", ready)
+	}
+	loop.RunUntilIdle()
+	// After the promotion the machine is in DCH until demotion.
+	loop2, m2 := new3G(t)
+	m2.ReadyAt(1400)
+	loop2.Run(sim.Time(3 * time.Second))
+	if m2.State() != DCH {
+		t.Fatalf("state %v after promotion, want DCH", m2.State())
+	}
+}
+
+func Test3GDemotionChain(t *testing.T) {
+	loop, m := new3G(t)
+	m.ReadyAt(1400) // promotes at 2s
+	// DCH→FACH 5 s after the promotion completes, FACH→IDLE 12 s later.
+	loop.Run(sim.Time(2*time.Second + 4*time.Second))
+	if m.State() != DCH {
+		t.Fatalf("demoted too early: %v", m.State())
+	}
+	loop.Run(sim.Time(2*time.Second + 5*time.Second + 100*time.Millisecond))
+	if m.State() != FACH {
+		t.Fatalf("not in FACH: %v", m.State())
+	}
+	loop.Run(sim.Time(2*time.Second + 17*time.Second + 100*time.Millisecond))
+	if m.State() != Idle3G {
+		t.Fatalf("not back to IDLE: %v", m.State())
+	}
+	wantTransitions := []struct{ from, to State }{
+		{Idle3G, DCH}, {DCH, FACH}, {FACH, Idle3G},
+	}
+	trs := m.Transitions()
+	if len(trs) != len(wantTransitions) {
+		t.Fatalf("transitions %v", trs)
+	}
+	for i, w := range wantTransitions {
+		if trs[i].From != w.from || trs[i].To != w.to {
+			t.Fatalf("transition %d: %v", i, trs[i])
+		}
+	}
+}
+
+func TestFACHCarriesSmallPackets(t *testing.T) {
+	loop, m := new3G(t)
+	m.ReadyAt(1400)
+	loop.Run(sim.Time(8 * time.Second)) // now in FACH
+	if m.State() != FACH {
+		t.Fatalf("precondition: %v", m.State())
+	}
+	// A packet at/below the threshold rides FACH with no delay…
+	if ready := m.ReadyAt(100); ready != loop.Now() {
+		t.Fatalf("small packet delayed in FACH: %v vs now %v", ready, loop.Now())
+	}
+	if m.State() != FACH {
+		t.Fatalf("small packet should not promote: %v", m.State())
+	}
+	// …and refreshes the demotion timer.
+	loop.Run(loop.Now().Add(11 * time.Second))
+	if m.State() != FACH {
+		t.Fatalf("FACH demoted despite activity: %v", m.State())
+	}
+}
+
+func TestFACHToDCHPromotionOnLargeData(t *testing.T) {
+	loop, m := new3G(t)
+	m.ReadyAt(1400)
+	loop.Run(sim.Time(8 * time.Second)) // FACH
+	before := loop.Now()
+	ready := m.ReadyAt(1400) // exceeds the queue threshold
+	if got := ready.Sub(before); got != 1500*time.Millisecond {
+		t.Fatalf("FACH→DCH promotion delay %v, want 1.5s", got)
+	}
+	loop.Run(ready.Add(time.Millisecond))
+	if m.State() != DCH {
+		t.Fatalf("state %v, want DCH", m.State())
+	}
+}
+
+func TestPromotionInProgressSharedByLaterPackets(t *testing.T) {
+	loop, m := new3G(t)
+	r1 := m.ReadyAt(1400)
+	loop.Run(sim.Time(500 * time.Millisecond))
+	r2 := m.ReadyAt(1400)
+	if r1 != r2 {
+		t.Fatalf("second packet got a different promotion deadline: %v vs %v", r2, r1)
+	}
+}
+
+func TestLTEChain(t *testing.T) {
+	loop := sim.NewLoop()
+	m := NewMachine(loop, ProfileLTE())
+	ready := m.ReadyAt(1400)
+	if ready != sim.Time(400*time.Millisecond) {
+		t.Fatalf("LTE promotion %v, want 400ms", ready)
+	}
+	// Continuous → ShortDRX after 100 ms idle, → LongDRX 400 ms later,
+	// → RRC_IDLE 11.5 s after that.
+	loop.Run(sim.Time(400*time.Millisecond + 150*time.Millisecond))
+	if m.State() != ShortDRX {
+		t.Fatalf("not ShortDRX: %v", m.State())
+	}
+	loop.Run(sim.Time(400*time.Millisecond + 600*time.Millisecond))
+	if m.State() != LongDRX {
+		t.Fatalf("not LongDRX: %v", m.State())
+	}
+	loop.Run(sim.Time(400*time.Millisecond + 500*time.Millisecond + 11600*time.Millisecond))
+	if m.State() != IdleLTE {
+		t.Fatalf("not RRC_IDLE: %v", m.State())
+	}
+}
+
+func TestLTEDRXWakeFasterThanColdPromotion(t *testing.T) {
+	loop := sim.NewLoop()
+	m := NewMachine(loop, ProfileLTE())
+	m.ReadyAt(1400)
+	loop.Run(sim.Time(1 * time.Second)) // LongDRX by now
+	if m.State() != LongDRX {
+		t.Fatalf("precondition %v", m.State())
+	}
+	wake := m.ReadyAt(1400).Sub(loop.Now())
+	if wake >= 400*time.Millisecond {
+		t.Fatalf("DRX wake %v should be far below cold promotion 400ms", wake)
+	}
+}
+
+func TestAlwaysOnNeverDelays(t *testing.T) {
+	loop := sim.NewLoop()
+	m := NewMachine(loop, ProfileAlwaysOn())
+	for i := 0; i < 5; i++ {
+		if r := m.ReadyAt(9999); r != loop.Now() {
+			t.Fatalf("always-on delayed: %v", r)
+		}
+		loop.Run(loop.Now().Add(time.Hour))
+	}
+	if m.Promotions() != 0 {
+		t.Fatalf("always-on counted promotions: %d", m.Promotions())
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	loop, m := new3G(t)
+	m.ReadyAt(1400)
+	loop.Run(sim.Time(4 * time.Second)) // 2s idle-promo (0 mW), 2s DCH (800 mW)
+	got := m.EnergyMilliJoules()
+	want := 800.0 * 2.0
+	if got < want*0.95 || got > want*1.05 {
+		t.Fatalf("energy %v mJ, want ≈%v", got, want)
+	}
+}
+
+func TestCurrentRateDuringPromotionIsUnconstrained(t *testing.T) {
+	loop, m := new3G(t)
+	m.ReadyAt(1400)
+	loop.Run(sim.Time(8 * time.Second)) // FACH
+	if m.CurrentRate() != Profile3G().FACHRate {
+		t.Fatalf("FACH rate %d", m.CurrentRate())
+	}
+	m.ReadyAt(1400) // starts FACH→DCH promotion
+	if m.CurrentRate() != 0 {
+		t.Fatalf("rate during promotion should be unconstrained, got %d", m.CurrentRate())
+	}
+}
+
+func TestOnChangeCallback(t *testing.T) {
+	loop, m := new3G(t)
+	var events []Transition
+	m.OnChange(func(tr Transition) { events = append(events, tr) })
+	m.ReadyAt(1400)
+	loop.Run(sim.Time(25 * time.Second))
+	if len(events) < 3 {
+		t.Fatalf("expected ≥3 transitions, got %v", events)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		Idle3G: "IDLE", FACH: "CELL_FACH", DCH: "CELL_DCH",
+		IdleLTE: "RRC_IDLE", Continuous: "CONTINUOUS",
+		ShortDRX: "SHORT_DRX", LongDRX: "LONG_DRX", AlwaysOn: "ALWAYS_ON",
+	} {
+		if s.String() != want {
+			t.Fatalf("%v != %v", s.String(), want)
+		}
+	}
+	if !DCH.Active() || !Continuous.Active() || FACH.Active() || Idle3G.Active() {
+		t.Fatal("Active() wrong")
+	}
+}

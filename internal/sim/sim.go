@@ -1,0 +1,218 @@
+// Package sim provides a deterministic discrete-event simulation core:
+// a virtual clock, a binary-heap event queue, cancellable timers, and a
+// seedable pseudo-random number generator.
+//
+// Everything in the simulator universe — TCP endpoints, radio state
+// machines, link queues, browsers, proxies — schedules work through a
+// single *Loop. Events fire in strict (time, sequence) order, so two runs
+// with the same seed are bit-for-bit identical.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp measured as a duration since the start of
+// the simulation. It is deliberately distinct from time.Time so that wall
+// clock values cannot leak into the simulation.
+type Time time.Duration
+
+// Common simulated durations.
+const (
+	Nanosecond  = Time(time.Nanosecond)
+	Microsecond = Time(time.Microsecond)
+	Millisecond = Time(time.Millisecond)
+	Second      = Time(time.Second)
+	Minute      = Time(time.Minute)
+
+	// Forever is a sentinel for "no deadline".
+	Forever = Time(math.MaxInt64)
+)
+
+// Duration converts a virtual timestamp to a time.Duration since t=0.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports the timestamp as floating-point seconds since t=0.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Milliseconds reports the timestamp as floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(time.Duration(t)) / float64(time.Millisecond) }
+
+// Add returns the timestamp advanced by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+func (t Time) String() string {
+	if t == Forever {
+		return "forever"
+	}
+	return time.Duration(t).String()
+}
+
+// event is a scheduled callback.
+type event struct {
+	at     Time
+	seq    uint64 // tie-break so equal-time events fire FIFO
+	fn     func()
+	index  int // heap index, -1 when popped/cancelled
+	cancel bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Loop is a discrete-event scheduler. The zero value is not usable; call
+// NewLoop.
+type Loop struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	running bool
+	stopped bool
+	fired   uint64
+}
+
+// NewLoop returns a scheduler with the clock at zero.
+func NewLoop() *Loop {
+	return &Loop{}
+}
+
+// Now returns the current virtual time.
+func (l *Loop) Now() Time { return l.now }
+
+// Fired reports the number of events executed so far; useful as a progress
+// and runaway-loop metric in tests.
+func (l *Loop) Fired() uint64 { return l.fired }
+
+// Timer is a handle to a scheduled event. Stop cancels it.
+type Timer struct {
+	loop *Loop
+	ev   *event
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+// Stopping an already-fired or already-stopped timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancel {
+		return false
+	}
+	if t.ev.index < 0 {
+		// Already fired or popped.
+		return false
+	}
+	t.ev.cancel = true
+	return true
+}
+
+// Pending reports whether the timer has yet to fire.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.cancel && t.ev.index >= 0
+}
+
+// When returns the virtual time at which the timer fires.
+func (t *Timer) When() Time {
+	if t == nil || t.ev == nil {
+		return Forever
+	}
+	return t.ev.at
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past panics: it always indicates a logic bug in a discrete-event model.
+func (l *Loop) At(at Time, fn func()) *Timer {
+	if at < l.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, l.now))
+	}
+	l.seq++
+	e := &event{at: at, seq: l.seq, fn: fn}
+	heap.Push(&l.heap, e)
+	return &Timer{loop: l, ev: e}
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero.
+func (l *Loop) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return l.At(l.now.Add(d), fn)
+}
+
+// Stop halts the loop after the current event finishes.
+func (l *Loop) Stop() { l.stopped = true }
+
+// Run executes events until the queue is empty, the loop is stopped, or
+// the clock passes deadline. It returns the virtual time at exit.
+func (l *Loop) Run(deadline Time) Time {
+	if l.running {
+		panic("sim: Run called re-entrantly")
+	}
+	l.running = true
+	defer func() { l.running = false }()
+	l.stopped = false
+	for len(l.heap) > 0 && !l.stopped {
+		e := l.heap[0]
+		if e.cancel {
+			heap.Pop(&l.heap)
+			continue
+		}
+		if e.at > deadline {
+			l.now = deadline
+			return l.now
+		}
+		heap.Pop(&l.heap)
+		if e.at > l.now {
+			l.now = e.at
+		}
+		l.fired++
+		e.fn()
+	}
+	if deadline != Forever && l.now < deadline && len(l.heap) == 0 {
+		l.now = deadline
+	}
+	return l.now
+}
+
+// RunUntilIdle executes all pending events with no deadline.
+func (l *Loop) RunUntilIdle() Time { return l.Run(Forever) }
+
+// Pending reports the number of queued (non-cancelled) events.
+func (l *Loop) Pending() int {
+	n := 0
+	for _, e := range l.heap {
+		if !e.cancel {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,428 @@
+package spdy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Control frame types (SPDY/3 §2.6).
+const (
+	TypeSynStream    = 1
+	TypeSynReply     = 2
+	TypeRstStream    = 3
+	TypeSettings     = 4
+	TypePing         = 6
+	TypeGoaway       = 7
+	TypeHeaders      = 8
+	TypeWindowUpdate = 9
+)
+
+// Frame flags.
+const (
+	FlagFin            = 0x01
+	FlagUnidirectional = 0x02
+)
+
+// RST_STREAM and GOAWAY status codes (subset).
+const (
+	StatusProtocolError       = 1
+	StatusInvalidStream       = 2
+	StatusRefusedStream       = 3
+	StatusCancel              = 5
+	StatusInternalError       = 6
+	StatusFlowControlErr      = 7
+	StatusStreamInUse         = 8
+	StatusStreamAlreadyClosed = 9
+)
+
+// Priority is a SPDY/3 stream priority: 0 (highest) through 7 (lowest).
+type Priority uint8
+
+// MaxPriority is the lowest-urgency priority value.
+const MaxPriority Priority = 7
+
+// Frame is any SPDY frame.
+type Frame interface {
+	frameType() int
+}
+
+// SynStream opens a stream (a request, when client-initiated).
+type SynStream struct {
+	StreamID uint32
+	AssocID  uint32
+	Priority Priority
+	Fin      bool
+	Headers  Headers
+}
+
+// SynReply answers a SynStream (a response head).
+type SynReply struct {
+	StreamID uint32
+	Fin      bool
+	Headers  Headers
+}
+
+// RstStream abnormally terminates a stream.
+type RstStream struct {
+	StreamID uint32
+	Status   uint32
+}
+
+// Setting is one SETTINGS entry.
+type Setting struct {
+	Flags uint8
+	ID    uint32 // 24 bits
+	Value uint32
+}
+
+// SettingsFrame carries session configuration.
+type SettingsFrame struct {
+	Settings []Setting
+}
+
+// Ping measures liveness/RTT; the receiver echoes it.
+type Ping struct {
+	ID uint32
+}
+
+// Goaway initiates session shutdown.
+type Goaway struct {
+	LastStreamID uint32
+	Status       uint32
+}
+
+// HeadersFrame carries additional headers for an open stream.
+type HeadersFrame struct {
+	StreamID uint32
+	Fin      bool
+	Headers  Headers
+}
+
+// WindowUpdate grows the flow-control window of a stream.
+type WindowUpdate struct {
+	StreamID uint32
+	Delta    uint32
+}
+
+// DataFrame carries stream payload bytes.
+type DataFrame struct {
+	StreamID uint32
+	Fin      bool
+	Data     []byte
+}
+
+func (SynStream) frameType() int     { return TypeSynStream }
+func (SynReply) frameType() int      { return TypeSynReply }
+func (RstStream) frameType() int     { return TypeRstStream }
+func (SettingsFrame) frameType() int { return TypeSettings }
+func (Ping) frameType() int          { return TypePing }
+func (Goaway) frameType() int        { return TypeGoaway }
+func (HeadersFrame) frameType() int  { return TypeHeaders }
+func (WindowUpdate) frameType() int  { return TypeWindowUpdate }
+func (DataFrame) frameType() int     { return -1 }
+
+// ErrFrameTooLarge guards against absurd length fields.
+var ErrFrameTooLarge = errors.New("spdy: frame exceeds maximum length")
+
+// maxFrameLen bounds accepted frame payloads (2^24-1 is the wire limit;
+// we cap lower to bound allocation).
+const maxFrameLen = 1 << 22
+
+// Framer reads and writes SPDY frames on a byte stream, holding the
+// session's shared header compression contexts. A Framer is not safe for
+// concurrent use; sessions serialize through their write loop.
+type Framer struct {
+	w io.Writer
+	r io.Reader
+
+	compressTx   *headerCompressor
+	decompressRx *headerDecompressor
+
+	// BytesWritten / BytesRead account wire volume for tests and the
+	// simulator's size oracle.
+	BytesWritten int64
+	BytesRead    int64
+}
+
+// NewFramer creates a framer over rw.
+func NewFramer(rw io.ReadWriter) *Framer {
+	return &Framer{
+		w:            rw,
+		r:            rw,
+		compressTx:   newHeaderCompressor(),
+		decompressRx: newHeaderDecompressor(),
+	}
+}
+
+func (f *Framer) writeAll(b []byte) error {
+	n, err := f.w.Write(b)
+	f.BytesWritten += int64(n)
+	return err
+}
+
+func controlHeader(frameType int, flags uint8, length int) []byte {
+	var h [8]byte
+	binary.BigEndian.PutUint16(h[0:2], 0x8000|Version)
+	binary.BigEndian.PutUint16(h[2:4], uint16(frameType))
+	h[4] = flags
+	h[5] = byte(length >> 16)
+	h[6] = byte(length >> 8)
+	h[7] = byte(length)
+	return h[:]
+}
+
+// WriteFrame serializes one frame.
+func (f *Framer) WriteFrame(fr Frame) error {
+	switch fr := fr.(type) {
+	case DataFrame:
+		return f.writeData(fr)
+	case *DataFrame:
+		return f.writeData(*fr)
+	case SynStream:
+		return f.writeSynStream(fr)
+	case *SynStream:
+		return f.writeSynStream(*fr)
+	case SynReply:
+		return f.writeSynReply(fr)
+	case *SynReply:
+		return f.writeSynReply(*fr)
+	case RstStream:
+		body := make([]byte, 8)
+		binary.BigEndian.PutUint32(body[0:4], fr.StreamID&0x7fffffff)
+		binary.BigEndian.PutUint32(body[4:8], fr.Status)
+		if err := f.writeAll(controlHeader(TypeRstStream, 0, len(body))); err != nil {
+			return err
+		}
+		return f.writeAll(body)
+	case SettingsFrame:
+		body := make([]byte, 4+8*len(fr.Settings))
+		binary.BigEndian.PutUint32(body[0:4], uint32(len(fr.Settings)))
+		for i, s := range fr.Settings {
+			off := 4 + 8*i
+			body[off] = s.Flags
+			body[off+1] = byte(s.ID >> 16)
+			body[off+2] = byte(s.ID >> 8)
+			body[off+3] = byte(s.ID)
+			binary.BigEndian.PutUint32(body[off+4:off+8], s.Value)
+		}
+		if err := f.writeAll(controlHeader(TypeSettings, 0, len(body))); err != nil {
+			return err
+		}
+		return f.writeAll(body)
+	case Ping:
+		body := make([]byte, 4)
+		binary.BigEndian.PutUint32(body, fr.ID)
+		if err := f.writeAll(controlHeader(TypePing, 0, len(body))); err != nil {
+			return err
+		}
+		return f.writeAll(body)
+	case Goaway:
+		body := make([]byte, 8)
+		binary.BigEndian.PutUint32(body[0:4], fr.LastStreamID&0x7fffffff)
+		binary.BigEndian.PutUint32(body[4:8], fr.Status)
+		if err := f.writeAll(controlHeader(TypeGoaway, 0, len(body))); err != nil {
+			return err
+		}
+		return f.writeAll(body)
+	case HeadersFrame:
+		block := f.compressTx.Compress(fr.Headers)
+		body := make([]byte, 4, 4+len(block))
+		binary.BigEndian.PutUint32(body[0:4], fr.StreamID&0x7fffffff)
+		body = append(body, block...)
+		var flags uint8
+		if fr.Fin {
+			flags |= FlagFin
+		}
+		if err := f.writeAll(controlHeader(TypeHeaders, flags, len(body))); err != nil {
+			return err
+		}
+		return f.writeAll(body)
+	case WindowUpdate:
+		body := make([]byte, 8)
+		binary.BigEndian.PutUint32(body[0:4], fr.StreamID&0x7fffffff)
+		binary.BigEndian.PutUint32(body[4:8], fr.Delta&0x7fffffff)
+		if err := f.writeAll(controlHeader(TypeWindowUpdate, 0, len(body))); err != nil {
+			return err
+		}
+		return f.writeAll(body)
+	default:
+		return fmt.Errorf("spdy: cannot write frame type %T", fr)
+	}
+}
+
+func (f *Framer) writeData(fr DataFrame) error {
+	if len(fr.Data) > maxFrameLen {
+		return ErrFrameTooLarge
+	}
+	var h [8]byte
+	binary.BigEndian.PutUint32(h[0:4], fr.StreamID&0x7fffffff)
+	if fr.Fin {
+		h[4] = FlagFin
+	}
+	h[5] = byte(len(fr.Data) >> 16)
+	h[6] = byte(len(fr.Data) >> 8)
+	h[7] = byte(len(fr.Data))
+	if err := f.writeAll(h[:]); err != nil {
+		return err
+	}
+	return f.writeAll(fr.Data)
+}
+
+func (f *Framer) writeSynStream(fr SynStream) error {
+	block := f.compressTx.Compress(fr.Headers)
+	body := make([]byte, 10, 10+len(block))
+	binary.BigEndian.PutUint32(body[0:4], fr.StreamID&0x7fffffff)
+	binary.BigEndian.PutUint32(body[4:8], fr.AssocID&0x7fffffff)
+	body[8] = byte(fr.Priority) << 5
+	body[9] = 0 // credential slot
+	body = append(body, block...)
+	var flags uint8
+	if fr.Fin {
+		flags |= FlagFin
+	}
+	if err := f.writeAll(controlHeader(TypeSynStream, flags, len(body))); err != nil {
+		return err
+	}
+	return f.writeAll(body)
+}
+
+func (f *Framer) writeSynReply(fr SynReply) error {
+	block := f.compressTx.Compress(fr.Headers)
+	body := make([]byte, 4, 4+len(block))
+	binary.BigEndian.PutUint32(body[0:4], fr.StreamID&0x7fffffff)
+	body = append(body, block...)
+	var flags uint8
+	if fr.Fin {
+		flags |= FlagFin
+	}
+	if err := f.writeAll(controlHeader(TypeSynReply, flags, len(body))); err != nil {
+		return err
+	}
+	return f.writeAll(body)
+}
+
+// ReadFrame reads and parses the next frame from the stream.
+func (f *Framer) ReadFrame() (Frame, error) {
+	var head [8]byte
+	if _, err := io.ReadFull(f.r, head[:]); err != nil {
+		return nil, err
+	}
+	f.BytesRead += 8
+	length := int(head[5])<<16 | int(head[6])<<8 | int(head[7])
+	if length > maxFrameLen {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(f.r, payload); err != nil {
+		return nil, fmt.Errorf("spdy: short frame payload: %w", err)
+	}
+	f.BytesRead += int64(length)
+	flags := head[4]
+
+	if head[0]&0x80 == 0 {
+		// Data frame.
+		streamID := binary.BigEndian.Uint32(head[0:4]) & 0x7fffffff
+		return DataFrame{StreamID: streamID, Fin: flags&FlagFin != 0, Data: payload}, nil
+	}
+
+	version := binary.BigEndian.Uint16(head[0:2]) & 0x7fff
+	if version != Version {
+		return nil, fmt.Errorf("spdy: unsupported version %d", version)
+	}
+	frameType := int(binary.BigEndian.Uint16(head[2:4]))
+
+	switch frameType {
+	case TypeSynStream:
+		if len(payload) < 10 {
+			return nil, errors.New("spdy: short SYN_STREAM")
+		}
+		h, err := f.decompressRx.Decompress(payload[10:])
+		if err != nil {
+			return nil, err
+		}
+		return SynStream{
+			StreamID: binary.BigEndian.Uint32(payload[0:4]) & 0x7fffffff,
+			AssocID:  binary.BigEndian.Uint32(payload[4:8]) & 0x7fffffff,
+			Priority: Priority(payload[8] >> 5),
+			Fin:      flags&FlagFin != 0,
+			Headers:  h,
+		}, nil
+	case TypeSynReply:
+		if len(payload) < 4 {
+			return nil, errors.New("spdy: short SYN_REPLY")
+		}
+		h, err := f.decompressRx.Decompress(payload[4:])
+		if err != nil {
+			return nil, err
+		}
+		return SynReply{
+			StreamID: binary.BigEndian.Uint32(payload[0:4]) & 0x7fffffff,
+			Fin:      flags&FlagFin != 0,
+			Headers:  h,
+		}, nil
+	case TypeRstStream:
+		if len(payload) < 8 {
+			return nil, errors.New("spdy: short RST_STREAM")
+		}
+		return RstStream{
+			StreamID: binary.BigEndian.Uint32(payload[0:4]) & 0x7fffffff,
+			Status:   binary.BigEndian.Uint32(payload[4:8]),
+		}, nil
+	case TypeSettings:
+		if len(payload) < 4 {
+			return nil, errors.New("spdy: short SETTINGS")
+		}
+		n := binary.BigEndian.Uint32(payload[0:4])
+		if int(n)*8+4 > len(payload) {
+			return nil, errors.New("spdy: SETTINGS count overruns payload")
+		}
+		sf := SettingsFrame{Settings: make([]Setting, n)}
+		for i := 0; i < int(n); i++ {
+			off := 4 + 8*i
+			sf.Settings[i] = Setting{
+				Flags: payload[off],
+				ID:    uint32(payload[off+1])<<16 | uint32(payload[off+2])<<8 | uint32(payload[off+3]),
+				Value: binary.BigEndian.Uint32(payload[off+4 : off+8]),
+			}
+		}
+		return sf, nil
+	case TypePing:
+		if len(payload) < 4 {
+			return nil, errors.New("spdy: short PING")
+		}
+		return Ping{ID: binary.BigEndian.Uint32(payload[0:4])}, nil
+	case TypeGoaway:
+		if len(payload) < 8 {
+			return nil, errors.New("spdy: short GOAWAY")
+		}
+		return Goaway{
+			LastStreamID: binary.BigEndian.Uint32(payload[0:4]) & 0x7fffffff,
+			Status:       binary.BigEndian.Uint32(payload[4:8]),
+		}, nil
+	case TypeHeaders:
+		if len(payload) < 4 {
+			return nil, errors.New("spdy: short HEADERS")
+		}
+		h, err := f.decompressRx.Decompress(payload[4:])
+		if err != nil {
+			return nil, err
+		}
+		return HeadersFrame{
+			StreamID: binary.BigEndian.Uint32(payload[0:4]) & 0x7fffffff,
+			Fin:      flags&FlagFin != 0,
+			Headers:  h,
+		}, nil
+	case TypeWindowUpdate:
+		if len(payload) < 8 {
+			return nil, errors.New("spdy: short WINDOW_UPDATE")
+		}
+		return WindowUpdate{
+			StreamID: binary.BigEndian.Uint32(payload[0:4]) & 0x7fffffff,
+			Delta:    binary.BigEndian.Uint32(payload[4:8]) & 0x7fffffff,
+		}, nil
+	default:
+		return nil, fmt.Errorf("spdy: unknown control frame type %d", frameType)
+	}
+}

@@ -1,0 +1,93 @@
+package spdy
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func roundTrip(t *testing.T, frames ...Frame) []Frame {
+	t.Helper()
+	var buf bytes.Buffer
+	tx := NewFramer(&buf)
+	for _, fr := range frames {
+		if err := tx.WriteFrame(fr); err != nil {
+			t.Fatalf("write %T: %v", fr, err)
+		}
+	}
+	rx := NewFramer(&buf)
+	out := make([]Frame, 0, len(frames))
+	for range frames {
+		fr, err := rx.ReadFrame()
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		out = append(out, fr)
+	}
+	return out
+}
+
+func TestSynStreamRoundTrip(t *testing.T) {
+	in := SynStream{
+		StreamID: 1,
+		Priority: 2,
+		Fin:      true,
+		Headers:  RequestHeaders("GET", "http", "example.com", "/index.html", "spdier-test"),
+	}
+	out := roundTrip(t, in)
+	got, ok := out[0].(SynStream)
+	if !ok {
+		t.Fatalf("got %T", out[0])
+	}
+	if got.StreamID != 1 || got.Priority != 2 || !got.Fin {
+		t.Fatalf("fields mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Headers, in.Headers) {
+		t.Fatalf("headers mismatch:\n got %v\nwant %v", got.Headers, in.Headers)
+	}
+}
+
+func TestHeaderCompressionContextShrinksSecondRequest(t *testing.T) {
+	o := NewSizeOracle()
+	h1 := RequestHeaders("GET", "http", "news.example.com", "/", "Mozilla/5.0 Chrome/23")
+	h2 := RequestHeaders("GET", "http", "news.example.com", "/logo.png", "Mozilla/5.0 Chrome/23")
+	s1 := o.FrameSize(SynStream{StreamID: 1, Headers: h1})
+	s2 := o.FrameSize(SynStream{StreamID: 3, Headers: h2})
+	if s2 >= s1 {
+		t.Fatalf("second request should compress smaller: first=%d second=%d", s1, s2)
+	}
+	if s2 > 200 {
+		t.Fatalf("warm-context request should be small, got %d bytes", s2)
+	}
+	t.Logf("first=%dB second=%dB", s1, s2)
+}
+
+func TestAllFrameTypesRoundTrip(t *testing.T) {
+	frames := []Frame{
+		SynStream{StreamID: 1, Priority: 0, Headers: Headers{":method": "GET", ":path": "/"}},
+		SynReply{StreamID: 1, Headers: Headers{":status": "200 OK"}},
+		DataFrame{StreamID: 1, Data: []byte("hello world")},
+		DataFrame{StreamID: 1, Fin: true, Data: []byte{}},
+		RstStream{StreamID: 3, Status: StatusCancel},
+		SettingsFrame{Settings: []Setting{{ID: 4, Value: 100}, {ID: 7, Value: 65536}}},
+		Ping{ID: 42},
+		HeadersFrame{StreamID: 1, Headers: Headers{"x-extra": "1"}},
+		WindowUpdate{StreamID: 1, Delta: 65536},
+		Goaway{LastStreamID: 41, Status: 0},
+	}
+	out := roundTrip(t, frames...)
+	for i, fr := range out {
+		if reflect.TypeOf(fr) != reflect.TypeOf(frames[i]) {
+			t.Fatalf("frame %d: got %T want %T", i, fr, frames[i])
+		}
+	}
+	if d := out[2].(DataFrame); string(d.Data) != "hello world" || d.Fin {
+		t.Fatalf("data frame mismatch: %+v", d)
+	}
+	if p := out[6].(Ping); p.ID != 42 {
+		t.Fatalf("ping mismatch: %+v", p)
+	}
+	if w := out[8].(WindowUpdate); w.Delta != 65536 {
+		t.Fatalf("window update mismatch: %+v", w)
+	}
+}

@@ -1,0 +1,69 @@
+package spdy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the frame parser: it must never
+// panic or over-allocate, only return frames or errors. Seeds include
+// every valid frame type plus truncations.
+func FuzzReadFrame(f *testing.F) {
+	// Valid frames as seeds.
+	var buf bytes.Buffer
+	tx := NewFramer(&buf)
+	seeds := []Frame{
+		SynStream{StreamID: 1, Priority: 3, Headers: Headers{":method": "GET", ":path": "/"}},
+		SynReply{StreamID: 1, Headers: Headers{":status": "200 OK"}},
+		DataFrame{StreamID: 1, Fin: true, Data: []byte("payload")},
+		RstStream{StreamID: 3, Status: StatusCancel},
+		SettingsFrame{Settings: []Setting{{ID: 4, Value: 100}}},
+		Ping{ID: 9},
+		Goaway{LastStreamID: 5},
+		HeadersFrame{StreamID: 1, Headers: Headers{"k": "v"}},
+		WindowUpdate{StreamID: 1, Delta: 1024},
+	}
+	for _, fr := range seeds {
+		buf.Reset()
+		if err := tx.WriteFrame(fr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), buf.Bytes()...))
+		// Truncated variant.
+		if buf.Len() > 3 {
+			f.Add(append([]byte(nil), buf.Bytes()[:buf.Len()/2]...))
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0x03, 0x00, 0x01, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rx := NewFramer(bytes.NewBuffer(data))
+		for i := 0; i < 16; i++ {
+			fr, err := rx.ReadFrame()
+			if err != nil {
+				return
+			}
+			if fr == nil {
+				t.Fatal("nil frame without error")
+			}
+		}
+	})
+}
+
+// FuzzHeaderDecompress feeds arbitrary bytes to the shared-context
+// header decompressor; it must fail cleanly on garbage.
+func FuzzHeaderDecompress(f *testing.F) {
+	c := newHeaderCompressor()
+	f.Add(c.Compress(Headers{":method": "GET"}))
+	f.Add([]byte{})
+	f.Add([]byte{0x78, 0x9c, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := newHeaderDecompressor()
+		h, err := d.Decompress(data)
+		if err == nil && h == nil {
+			t.Fatal("nil headers without error")
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package spdy
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Headers is a SPDY name/value block. Per SPDY/3, names are lowercase and
+// multiple values for a name are NUL-joined into one string. Pseudo
+// headers (":method", ":path", ":version", ":host", ":scheme", ":status")
+// carry the request/status line.
+type Headers map[string]string
+
+// Clone returns a deep copy.
+func (h Headers) Clone() Headers {
+	out := make(Headers, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// Get returns the value for name (names are matched lowercase).
+func (h Headers) Get(name string) string { return h[strings.ToLower(name)] }
+
+// Set assigns value to the lowercased name.
+func (h Headers) Set(name, value string) { h[strings.ToLower(name)] = value }
+
+// sortedNames returns deterministic iteration order for serialization.
+func (h Headers) sortedNames() []string {
+	names := make([]string, 0, len(h))
+	for k := range h {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// marshalPlain serializes the uncompressed SPDY/3 name/value block:
+// a 32-bit pair count, then length-prefixed name and value per pair.
+func (h Headers) marshalPlain() []byte {
+	var buf bytes.Buffer
+	var u32 [4]byte
+	put := func(s string) {
+		binary.BigEndian.PutUint32(u32[:], uint32(len(s)))
+		buf.Write(u32[:])
+		buf.WriteString(s)
+	}
+	binary.BigEndian.PutUint32(u32[:], uint32(len(h)))
+	buf.Write(u32[:])
+	for _, name := range h.sortedNames() {
+		put(name)
+		put(h[name])
+	}
+	return buf.Bytes()
+}
+
+// errHeaderBlock reports malformed name/value blocks.
+var errHeaderBlock = errors.New("spdy: malformed header block")
+
+// unmarshalPlain parses an uncompressed name/value block.
+func unmarshalPlain(r io.Reader) (Headers, error) {
+	var u32 [4]byte
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return nil, fmt.Errorf("%w: count: %v", errHeaderBlock, err)
+	}
+	count := binary.BigEndian.Uint32(u32[:])
+	if count > 4096 {
+		return nil, fmt.Errorf("%w: absurd pair count %d", errHeaderBlock, count)
+	}
+	read := func() (string, error) {
+		if _, err := io.ReadFull(r, u32[:]); err != nil {
+			return "", err
+		}
+		n := binary.BigEndian.Uint32(u32[:])
+		if n > 1<<20 {
+			return "", fmt.Errorf("%w: absurd string length %d", errHeaderBlock, n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	h := make(Headers, count)
+	for i := uint32(0); i < count; i++ {
+		name, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("%w: name: %v", errHeaderBlock, err)
+		}
+		value, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("%w: value: %v", errHeaderBlock, err)
+		}
+		h[name] = value
+	}
+	return h, nil
+}
+
+// headerCompressor maintains the per-session zlib compression context.
+// SPDY compresses all header blocks on a connection with one shared
+// context, which is why the *second* request's headers shrink to a few
+// dozen bytes — the redundancy the paper credits SPDY for removing.
+type headerCompressor struct {
+	buf bytes.Buffer
+	zw  *zlib.Writer
+}
+
+func newHeaderCompressor() *headerCompressor {
+	c := &headerCompressor{}
+	zw, err := zlib.NewWriterLevelDict(&c.buf, zlib.BestCompression, headerDictionary)
+	if err != nil {
+		panic("spdy: zlib init: " + err.Error())
+	}
+	c.zw = zw
+	return c
+}
+
+// Compress returns the compressed encoding of h, flushed at a sync point
+// so the receiver can decode the block without further input.
+func (c *headerCompressor) Compress(h Headers) []byte {
+	plain := h.marshalPlain()
+	c.buf.Reset()
+	if _, err := c.zw.Write(plain); err != nil {
+		panic("spdy: zlib write: " + err.Error())
+	}
+	if err := c.zw.Flush(); err != nil {
+		panic("spdy: zlib flush: " + err.Error())
+	}
+	out := make([]byte, c.buf.Len())
+	copy(out, c.buf.Bytes())
+	return out
+}
+
+// headerDecompressor is the receive-side shared context.
+type headerDecompressor struct {
+	in bytes.Buffer
+	zr io.ReadCloser
+}
+
+func newHeaderDecompressor() *headerDecompressor {
+	return &headerDecompressor{}
+}
+
+// Decompress decodes one compressed block produced by a matching
+// headerCompressor on the same session.
+func (d *headerDecompressor) Decompress(block []byte) (Headers, error) {
+	d.in.Write(block)
+	if d.zr == nil {
+		zr, err := zlib.NewReaderDict(&d.in, headerDictionary)
+		if err != nil {
+			return nil, fmt.Errorf("spdy: zlib reader: %w", err)
+		}
+		d.zr = zr
+	}
+	h, err := unmarshalPlain(d.zr)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// RequestHeaders builds the SPDY/3 pseudo-header set for a proxied GET.
+func RequestHeaders(method, scheme, host, path, userAgent string) Headers {
+	h := Headers{
+		":method":         method,
+		":scheme":         scheme,
+		":host":           host,
+		":path":           path,
+		":version":        "HTTP/1.1",
+		"accept":          "text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8",
+		"accept-encoding": "gzip,deflate,sdch",
+		"accept-language": "en-US,en;q=0.8",
+	}
+	if userAgent != "" {
+		h["user-agent"] = userAgent
+	}
+	return h
+}
+
+// ResponseHeaders builds the SPDY/3 pseudo-header set for a response.
+func ResponseHeaders(status string, contentType string, contentLength int64) Headers {
+	return Headers{
+		":status":        status,
+		":version":       "HTTP/1.1",
+		"content-type":   contentType,
+		"content-length": fmt.Sprintf("%d", contentLength),
+		"server":         "spdier-origin/1.0",
+	}
+}

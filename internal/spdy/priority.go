@@ -1,0 +1,67 @@
+package spdy
+
+// PriorityQueue schedules items by SPDY priority: strict priority order
+// (0 first), FIFO within a class. This is the transmit discipline the
+// SPDY server uses so that high-priority resources are transferred
+// before low-priority ones (Figure 1(d)): the connection is never
+// congested with non-critical resources while critical requests pend.
+type PriorityQueue[T any] struct {
+	classes [MaxPriority + 1][]T
+	n       int
+}
+
+// Push enqueues item at priority p (clamped to the valid range).
+func (q *PriorityQueue[T]) Push(p Priority, item T) {
+	if p > MaxPriority {
+		p = MaxPriority
+	}
+	q.classes[p] = append(q.classes[p], item)
+	q.n++
+}
+
+// Pop removes the highest-priority, oldest item.
+func (q *PriorityQueue[T]) Pop() (T, bool) {
+	for p := range q.classes {
+		if len(q.classes[p]) > 0 {
+			item := q.classes[p][0]
+			q.classes[p] = q.classes[p][1:]
+			q.n--
+			return item, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// Peek returns the item Pop would return without removing it.
+func (q *PriorityQueue[T]) Peek() (T, bool) {
+	for p := range q.classes {
+		if len(q.classes[p]) > 0 {
+			return q.classes[p][0], true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// Len reports the number of queued items.
+func (q *PriorityQueue[T]) Len() int { return q.n }
+
+// PriorityForType maps an object's content kind to the priority Chrome
+// assigns: documents and scripts/stylesheets ahead of images.
+func PriorityForType(kind string) Priority {
+	switch kind {
+	case "html":
+		return 0
+	case "css":
+		return 1
+	case "js":
+		return 2
+	case "xhr", "text":
+		return 3
+	case "img":
+		return 4
+	default:
+		return 5
+	}
+}

@@ -1,0 +1,43 @@
+package spdy
+
+import "io"
+
+// SizeOracle measures the real wire size of SPDY frames for the
+// simulator: it runs an actual Framer (with its stateful compression
+// context) against a counting sink, so the first request on a session
+// costs its full compressed header block and subsequent ones shrink as
+// the shared zlib context warms — the behaviour that lets almost every
+// SPDY request fit in a single TCP packet (Section 5.1).
+type SizeOracle struct {
+	framer *Framer
+	sink   countWriter
+}
+
+type countWriter struct{ n *int64 }
+
+func (w countWriter) Write(p []byte) (int, error) { *w.n += int64(len(p)); return len(p), nil }
+func (countWriter) Read([]byte) (int, error)      { return 0, io.EOF }
+
+type oracleRW struct{ countWriter }
+
+// NewSizeOracle returns a fresh per-session size oracle.
+func NewSizeOracle() *SizeOracle {
+	o := &SizeOracle{}
+	n := new(int64)
+	o.sink = countWriter{n: n}
+	o.framer = NewFramer(oracleRW{o.sink})
+	return o
+}
+
+// FrameSize returns the serialized size of fr on this session, advancing
+// the compression context exactly as a real transmission would.
+func (o *SizeOracle) FrameSize(fr Frame) int {
+	before := *o.sink.n
+	if err := o.framer.WriteFrame(fr); err != nil {
+		panic("spdy: size oracle write: " + err.Error())
+	}
+	return int(*o.sink.n - before)
+}
+
+// DataFrameOverhead is the fixed header cost of a DATA frame.
+const DataFrameOverhead = 8

@@ -1,0 +1,137 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"spdier/internal/sim"
+)
+
+func TestNewCCVariants(t *testing.T) {
+	if NewCC("reno").Name() != "reno" || NewCC("").Name() != "reno" {
+		t.Fatal("reno construction")
+	}
+	if NewCC("cubic").Name() != "cubic" {
+		t.Fatal("cubic construction")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown CC should panic")
+		}
+	}()
+	NewCC("vegas")
+}
+
+func TestRenoCongestionAvoidanceRate(t *testing.T) {
+	r := &Reno{}
+	// One full window of ACKed segments grows cwnd by ~1.
+	cwnd := 20.0
+	var total float64
+	for i := 0; i < 20; i++ {
+		total += r.OnAckCA(0, cwnd, 1, 100*time.Millisecond)
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("Reno grew %v per window, want 1", total)
+	}
+}
+
+func TestRenoSsthreshHalves(t *testing.T) {
+	r := &Reno{}
+	if got := r.SsthreshAfterLoss(40); got != 20 {
+		t.Fatalf("ssthresh %v", got)
+	}
+	if got := r.SsthreshAfterLoss(2); got != 2 {
+		t.Fatalf("ssthresh floor %v", got)
+	}
+}
+
+func TestCubicSsthreshBeta(t *testing.T) {
+	c := NewCubic()
+	if got := c.SsthreshAfterLoss(100); got != 70 {
+		t.Fatalf("cubic ssthresh %v, want 70", got)
+	}
+}
+
+func TestCubicRegrowthTowardWmax(t *testing.T) {
+	c := NewCubic()
+	loop := sim.NewLoop()
+	// Loss at cwnd 100 → Wmax 100, cwnd drops to 70.
+	c.OnLoss(loop.Now(), 100)
+	cwnd := 70.0
+	// Simulate ACK clocking at ~10 ACKs per 100 ms RTT for 30 s.
+	for step := 0; step < 300; step++ {
+		now := sim.Time(step) * sim.Time(100*time.Millisecond)
+		for ack := 0; ack < 10; ack++ {
+			cwnd += c.OnAckCA(now, cwnd, 1, 100*time.Millisecond)
+		}
+	}
+	if cwnd < 95 {
+		t.Fatalf("cubic failed to regrow toward Wmax: %v", cwnd)
+	}
+}
+
+func TestCubicConcaveThenConvex(t *testing.T) {
+	// The defining CUBIC shape ("first probes and then has an
+	// exponential growth", §5.5.1): growth is slow while approaching
+	// W_max and accelerates well past the epoch's inflection point K.
+	c := NewCubic()
+	c.OnLoss(0, 100)
+	cwnd := 70.0
+	k := c.k // filled on first OnAckCA; prime it
+	_ = k
+	var earlyGrowth, lateGrowth float64
+	const step = 50 * time.Millisecond
+	for i := 0; i < 600; i++ {
+		now := sim.Time(i) * sim.Time(step)
+		inc := c.OnAckCA(now, cwnd, 1, 100*time.Millisecond)
+		cwnd += inc
+		sec := now.Seconds()
+		switch {
+		case sec < 2:
+			earlyGrowth += inc
+		case sec >= 8 && sec < 10:
+			lateGrowth += inc
+		}
+	}
+	if lateGrowth < 2*earlyGrowth {
+		t.Fatalf("no convex acceleration: early=%v late=%v", earlyGrowth, lateGrowth)
+	}
+}
+
+func TestCubicFastConvergence(t *testing.T) {
+	c := NewCubic()
+	c.OnLoss(0, 100)
+	if c.wMax != 100 {
+		t.Fatalf("wMax %v", c.wMax)
+	}
+	// Second loss below the previous Wmax shrinks the target.
+	c.OnLoss(0, 80)
+	want := 80 * (1 + 0.7) / 2
+	if c.wMax != want {
+		t.Fatalf("fast convergence wMax %v, want %v", c.wMax, want)
+	}
+}
+
+func TestCubicGrowthCappedAtSlowStartPace(t *testing.T) {
+	c := NewCubic()
+	c.OnLoss(0, 400)
+	// Far past K, the cubic term is enormous; per-ACK growth must still
+	// be capped at 1 segment per ACKed segment.
+	inc := c.OnAckCA(sim.Time(60*time.Second), 10, 1, 100*time.Millisecond)
+	if inc > 1 {
+		t.Fatalf("uncapped growth %v", inc)
+	}
+}
+
+func TestCubicResetClearsEpoch(t *testing.T) {
+	c := NewCubic()
+	c.OnLoss(0, 100)
+	c.OnAckCA(0, 70, 1, 100*time.Millisecond)
+	if !c.hasEpoch {
+		t.Fatal("epoch not started")
+	}
+	c.Reset()
+	if c.hasEpoch || c.wMax != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

@@ -1,0 +1,1095 @@
+package tcpsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"spdier/internal/netem"
+	"spdier/internal/sim"
+)
+
+// debugLog, when set by tests, receives verbose per-event diagnostics.
+var debugLog func(string)
+
+// SetDebugLog installs (or clears, with nil) the package debug logger.
+func SetDebugLog(fn func(string)) { debugLog = fn }
+
+// Config holds the tunables of one endpoint's TCP stack. Defaults mirror
+// the Linux 3.x stack on the paper's proxy VM.
+type Config struct {
+	// MSS is the maximum segment payload in bytes.
+	MSS int
+	// InitialCwnd is the initial congestion window in segments (IW10,
+	// the then-new Linux default discussed in §7 via RFC 6928).
+	InitialCwnd float64
+	// InitialRTO is the pre-measurement retransmission timeout
+	// (RFC 6298 says 1 s, classic BSD used 3 s; the paper's fix relies
+	// on this being "multiple seconds", larger than the promotion delay).
+	InitialRTO time.Duration
+	// MinRTO floors the computed RTO (Linux: 200 ms).
+	MinRTO time.Duration
+	// MaxRTO caps RTO backoff.
+	MaxRTO time.Duration
+	// DelayedAckTimeout is the receiver's delayed-ACK timer.
+	DelayedAckTimeout time.Duration
+	// RecvBuffer bounds the advertised receive window in bytes.
+	RecvBuffer int
+	// SlowStartAfterIdle enables Linux congestion-window validation:
+	// after an idle period longer than the RTO, cwnd is reset to the
+	// initial window (ssthresh and the RTT estimate are NOT touched —
+	// precisely the asymmetry the paper identifies).
+	SlowStartAfterIdle bool
+	// ResetRTTAfterIdle is the paper's §6.2.1 proposal: on the same idle
+	// trigger, also discard the RTT estimate and restore the initial
+	// multi-second RTO so the radio promotion delay cannot beat it.
+	ResetRTTAfterIdle bool
+	// CC selects the congestion control variant: "cubic" or "reno".
+	CC string
+	// Metrics, when non-nil, seeds new connections from (and stores
+	// results into) the shared per-destination cache (§6.2.4).
+	Metrics *MetricsCache
+	// Probe receives tcp_probe-style samples; may be nil.
+	Probe Probe
+	// TLS models an SSL handshake (two extra round trips of control
+	// data) before the connection is reported established, as Chrome's
+	// SPDY sessions require.
+	TLS bool
+	// NoIdleDemotion disables idle-restart entirely (for unit tests).
+	NoIdleDemotion bool
+	// DisableUndo turns off DSACK-based undo of spurious loss episodes,
+	// modeling stacks whose undo machinery is ineffective — the ablation
+	// that recovers the paper's full §6.2.1 claim.
+	DisableUndo bool
+}
+
+// DefaultConfig returns the Linux-like defaults used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		MSS:                1380,
+		InitialCwnd:        10,
+		InitialRTO:         3 * time.Second,
+		MinRTO:             200 * time.Millisecond,
+		MaxRTO:             120 * time.Second,
+		DelayedAckTimeout:  40 * time.Millisecond,
+		RecvBuffer:         256 << 10,
+		SlowStartAfterIdle: true,
+		CC:                 "cubic",
+	}
+}
+
+// Connection lifecycle states.
+const (
+	stClosed = iota
+	stSynSent
+	stSynRcvd
+	stEstablished
+	stClosing
+)
+
+// Congestion state machine (RFC 5681 / Linux CA states).
+const (
+	caOpen = iota
+	caRecovery
+	caLoss
+)
+
+// Network binds TCP connections to a netem.Path, demultiplexing segments
+// of many connections over the same emulated links — exactly how many
+// browser connections share one radio bearer.
+type Network struct {
+	loop  *sim.Loop
+	path  *netem.Path
+	conns []*Conn
+}
+
+type envelope struct {
+	to  *Conn
+	seg *Segment
+}
+
+// Conns returns every connection endpoint created through this network.
+func (n *Network) Conns() []*Conn { return n.conns }
+
+// NewNetwork installs segment demultiplexers on both directions of path.
+func NewNetwork(loop *sim.Loop, path *netem.Path) *Network {
+	n := &Network{loop: loop, path: path}
+	deliver := func(p netem.Payload) {
+		// Non-TCP traffic (e.g. the Figure 14 keep-alive pinger) shares
+		// the path; ignore anything that isn't a segment envelope.
+		e, ok := p.(envelope)
+		if !ok {
+			return
+		}
+		e.to.handleSegment(e.seg)
+	}
+	path.AtoB.SetReceiver(deliver)
+	path.BtoA.SetReceiver(deliver)
+	return n
+}
+
+// Loop returns the simulation loop.
+func (n *Network) Loop() *sim.Loop { return n.loop }
+
+// Path returns the underlying emulated path.
+func (n *Network) Path() *netem.Path { return n.path }
+
+// NewConnPair creates a client endpoint (side A, the device) and server
+// endpoint (side B, the proxy) wired through the network. dest keys the
+// server's metrics cache. The connection is idle until client.Connect().
+func (n *Network) NewConnPair(clientCfg, serverCfg Config, id, dest string) (client, server *Conn) {
+	client = newConn(n.loop, clientCfg, id+":c", dest, true)
+	server = newConn(n.loop, serverCfg, id+":s", dest, false)
+	client.peer = server
+	server.peer = client
+	client.out = n.path.AtoB
+	server.out = n.path.BtoA
+	n.conns = append(n.conns, client, server)
+	return client, server
+}
+
+// PeerWnd returns the last advertised peer receive window.
+func (c *Conn) PeerWnd() int { return c.peerWnd }
+
+// Conn is one endpoint of a simulated TCP connection.
+type Conn struct {
+	loop *sim.Loop
+	cfg  Config
+	id   string
+	dest string
+
+	isClient bool
+	peer     *Conn
+	out      *netem.Link
+
+	state         int
+	onEstablished func()
+	onDeliver     func(int)
+	onClose       func()
+	tlsStep       int
+
+	// --- sender half ---
+	cc           CongestionControl
+	rtt          rttEstimator
+	cwnd         float64
+	ssthresh     float64
+	sndUna       uint64
+	sndNxt       uint64
+	sendQueue    int
+	inflight     []sentSeg
+	dupAcks      int
+	recoverPoint uint64
+	caState      int
+	// lossAcks counts cumulative ACKs processed since the last RTO.
+	// F-RTO: retransmissions beyond the first segment are held back
+	// until a second ACK arrives, so a spurious timeout (originals
+	// merely delayed) is detected before a go-back-N storm starts.
+	lossAcks int
+	// wasCwndLimited records whether the last transmission opportunity
+	// was cut short by the congestion window (RFC 7661 validation).
+	wasCwndLimited bool
+	rtoTimer       *sim.Timer
+	lastDataSend   sim.Time
+	everSent       bool
+	peerWnd        int
+	finSent        bool
+
+	// --- DSACK undo state (Linux tcp_try_undo_dsack): when every
+	// retransmission of a loss episode is reported back as a duplicate,
+	// the episode was spurious and the pre-collapse cwnd/ssthresh are
+	// restored. This is what lets ssthresh "grow back quickly" in
+	// Figure 12 after a promotion-delay timeout.
+	undoActive   bool
+	undoCwnd     float64
+	undoSsthresh float64
+	undoRetrans  int
+	undoEpisode  int // total retransmissions in the episode
+	Undos        int
+
+	// --- receiver half ---
+	rcvNxt       uint64
+	ooo          map[uint64]int
+	oooBytes     int
+	delayedAck   *sim.Timer
+	segsSinceAck int
+	pendingDsack bool
+	// tsRecent is the RFC 7323 TS.Recent value: the send timestamp of
+	// the last segment that advanced the in-order window; echoed on
+	// every ACK so the peer samples true round trips even when a single
+	// repair releases a large cumulative ACK.
+	tsRecent sim.Time
+	finRcvd  bool
+
+	// writable hook: invoked when the send queue drains to or below the
+	// threshold, letting an application (the SPDY proxy pump) keep the
+	// socket fed without deep buffering.
+	writableThresh int
+	writableHook   func()
+	inWritableHook bool
+
+	// --- counters ---
+	Retransmits      int // RTO-driven
+	FastRetransmits  int
+	SpuriousArrivals int // duplicate data received (peer retransmitted needlessly)
+	IdleRestarts     int
+	BytesSentApp     int64
+	BytesRcvdApp     int64
+}
+
+func newConn(loop *sim.Loop, cfg Config, id, dest string, isClient bool) *Conn {
+	if cfg.MSS <= 0 {
+		cfg = DefaultConfig()
+	}
+	c := &Conn{
+		loop:     loop,
+		cfg:      cfg,
+		id:       id,
+		dest:     dest,
+		isClient: isClient,
+		cc:       NewCC(cfg.CC),
+		rtt:      newRTTEstimator(cfg.InitialRTO, cfg.MinRTO, cfg.MaxRTO),
+		cwnd:     cfg.InitialCwnd,
+		ssthresh: 1 << 20, // "infinite" until first loss
+		peerWnd:  64 << 10,
+		ooo:      make(map[uint64]int),
+	}
+	if e := cfg.Metrics.Lookup(dest); e != nil {
+		// Linux tcp_metrics: seed ssthresh and RTT state from the cache.
+		if e.Ssthresh > 0 {
+			c.ssthresh = e.Ssthresh
+		}
+		c.rtt.seed(e.SRTT, e.RTTVar)
+	}
+	return c
+}
+
+// ID returns the connection identifier used in traces.
+func (c *Conn) ID() string { return c.id }
+
+// OnEstablished registers the callback fired when the handshake (and TLS
+// exchange, if configured) completes at this endpoint.
+func (c *Conn) OnEstablished(fn func()) { c.onEstablished = fn }
+
+// OnDeliver registers the callback fired with the count of newly
+// delivered in-order application bytes at this endpoint.
+func (c *Conn) OnDeliver(fn func(int)) { c.onDeliver = fn }
+
+// OnClose registers a callback fired when the peer's FIN arrives.
+func (c *Conn) OnClose(fn func()) { c.onClose = fn }
+
+// Established reports whether the connection is fully set up.
+func (c *Conn) Established() bool { return c.state == stEstablished }
+
+// Cwnd returns the congestion window in segments.
+func (c *Conn) Cwnd() float64 { return c.cwnd }
+
+// Ssthresh returns the slow-start threshold in segments.
+func (c *Conn) Ssthresh() float64 { return c.ssthresh }
+
+// SRTT returns the smoothed RTT estimate (zero if no sample yet).
+func (c *Conn) SRTT() time.Duration { return c.rtt.srtt }
+
+// RTO returns the current retransmission timeout.
+func (c *Conn) RTO() time.Duration { return c.rtt.current() }
+
+// InFlightBytes returns unacknowledged bytes (Figure 10's metric).
+func (c *Conn) InFlightBytes() int { return int(c.sndNxt - c.sndUna) }
+
+// BufferedBytes returns bytes written but not yet transmitted — the
+// proxy-side response queue of Figure 8.
+func (c *Conn) BufferedBytes() int { return c.sendQueue }
+
+// InSlowStart reports whether the sender is below ssthresh.
+func (c *Conn) InSlowStart() bool { return c.cwnd < c.ssthresh }
+
+// SetWritableHook registers fn to be called whenever, after transmission
+// opportunities are exhausted, the unsent backlog is at or below
+// threshold bytes. The hook may call Write; re-entrant invocations are
+// suppressed.
+func (c *Conn) SetWritableHook(threshold int, fn func()) {
+	c.writableThresh = threshold
+	c.writableHook = fn
+}
+
+func (c *Conn) fireWritable() {
+	if c.writableHook == nil || c.inWritableHook {
+		return
+	}
+	if c.sendQueue > c.writableThresh {
+		return
+	}
+	c.inWritableHook = true
+	c.writableHook()
+	c.inWritableHook = false
+}
+
+// Connect starts the client-side handshake.
+func (c *Conn) Connect() {
+	if !c.isClient {
+		panic("tcpsim: Connect on server endpoint")
+	}
+	if c.state != stClosed {
+		return
+	}
+	c.state = stSynSent
+	c.transmit(&Segment{Flags: flagSYN})
+	c.armHandshakeRetry()
+}
+
+func (c *Conn) armHandshakeRetry() {
+	deadline := c.cfg.InitialRTO
+	c.loop.After(deadline, func() {
+		if c.state == stSynSent {
+			c.transmit(&Segment{Flags: flagSYN})
+			c.armHandshakeRetry()
+		}
+	})
+}
+
+// Write queues n application bytes for transmission.
+func (c *Conn) Write(n int) {
+	if n <= 0 {
+		return
+	}
+	if c.state == stClosed && c.isClient {
+		c.Connect()
+	}
+	c.BytesSentApp += int64(n)
+	c.maybeIdleRestart()
+	c.sendQueue += n
+	c.trySend()
+}
+
+// Close sends a FIN and flushes metrics to the cache.
+func (c *Conn) Close() {
+	if c.state == stClosing || c.state == stClosed {
+		return
+	}
+	c.storeMetrics()
+	c.state = stClosing
+	if !c.finSent {
+		c.finSent = true
+		c.transmit(&Segment{Flags: flagFIN | flagACK, Ack: c.rcvNxt, Wnd: c.recvWindow()})
+	}
+}
+
+func (c *Conn) storeMetrics() {
+	if c.cfg.Metrics == nil {
+		return
+	}
+	e := MetricsEntry{SRTT: c.rtt.srtt, RTTVar: c.rtt.rttvar}
+	if c.ssthresh < 1<<20 {
+		e.Ssthresh = c.ssthresh
+	}
+	if e.SRTT > 0 || e.Ssthresh > 0 {
+		c.cfg.Metrics.Store(c.dest, e)
+	}
+}
+
+// maybeIdleRestart applies Linux congestion-window validation: if the
+// connection has been idle (no data sent) for longer than one RTO, the
+// cwnd snaps back to the initial window. With ResetRTTAfterIdle the RTT
+// estimate is also discarded — the paper's fix.
+func (c *Conn) maybeIdleRestart() {
+	if c.cfg.NoIdleDemotion || !c.everSent || len(c.inflight) > 0 || c.sendQueue > 0 {
+		return
+	}
+	idle := c.loop.Now().Sub(c.lastDataSend)
+	if idle <= c.rtt.current() {
+		return
+	}
+	if c.cfg.SlowStartAfterIdle {
+		if c.cwnd > c.cfg.InitialCwnd {
+			c.cwnd = c.cfg.InitialCwnd
+		}
+		c.cc.Reset()
+		c.IdleRestarts++
+		c.probe(EvIdleRestart)
+	}
+	if c.cfg.ResetRTTAfterIdle {
+		c.rtt.reset()
+		c.probe(EvRTTReset)
+	}
+}
+
+func (c *Conn) probe(ev ProbeEvent) {
+	if c.cfg.Probe == nil {
+		return
+	}
+	c.cfg.Probe.Sample(ProbeSample{
+		At:       c.loop.Now(),
+		ConnID:   c.id,
+		Event:    ev,
+		Cwnd:     c.cwnd,
+		Ssthresh: c.ssthresh,
+		InFlight: c.InFlightBytes(),
+		RTOms:    float64(c.rtt.current()) / float64(time.Millisecond),
+		SRTTms:   float64(c.rtt.srtt) / float64(time.Millisecond),
+	})
+}
+
+// pktsInFlight counts outstanding segments not currently marked lost —
+// the quantity congestion control paces against during loss recovery.
+func (c *Conn) pktsInFlight() int {
+	n := 0
+	for i := range c.inflight {
+		if !c.inflight[i].lost && !c.inflight[i].sacked {
+			n++
+		}
+	}
+	return n
+}
+
+// trySend transmits as much queued data as the congestion and receive
+// windows allow. Segments marked lost by a timeout are retransmitted
+// first, paced by the (slow-starting) window — Linux's loss recovery —
+// then new data follows.
+func (c *Conn) trySend() {
+	if c.state != stEstablished && c.state != stClosing {
+		return
+	}
+	// Loss recovery: retransmit marked-lost segments as the window opens.
+	// The F-RTO window (exactly one ACK since the timeout) holds this
+	// back: if the timeout was spurious, the very next ACK will cover an
+	// original transmission and cancel the loss marks entirely.
+	if (c.caState == caLoss && c.lossAcks != 1) || c.caState == caRecovery {
+		for i := range c.inflight {
+			if float64(c.pktsInFlight()) >= c.cwnd {
+				break
+			}
+			if !c.inflight[i].lost || c.inflight[i].sacked {
+				continue
+			}
+			c.inflight[i].lost = false
+			c.inflight[i].retx = true
+			c.inflight[i].sentAt = c.loop.Now()
+			c.retransmitSeg(&c.inflight[i])
+			c.Retransmits++
+			c.probe(EvRetransmit)
+		}
+	}
+	c.wasCwndLimited = false
+	for c.sendQueue > 0 {
+		if float64(c.pktsInFlight()) >= c.cwnd {
+			c.wasCwndLimited = true
+			break
+		}
+		payload := c.cfg.MSS
+		if payload > c.sendQueue {
+			payload = c.sendQueue
+		}
+		if c.InFlightBytes()+payload > c.peerWnd {
+			break
+		}
+		seg := &Segment{
+			Flags: flagACK,
+			Seq:   c.sndNxt,
+			Len:   payload,
+			Ack:   c.rcvNxt,
+			Wnd:   c.recvWindow(),
+			TSVal: c.loop.Now(),
+			TSEcr: c.tsRecent,
+		}
+		c.sndNxt += uint64(payload)
+		c.sendQueue -= payload
+		c.inflight = append(c.inflight, sentSeg{seq: seg.Seq, len: payload, sentAt: c.loop.Now()})
+		c.ackPiggybacked()
+		c.transmit(seg)
+		c.lastDataSend = c.loop.Now()
+		c.everSent = true
+		c.probe(EvSend)
+		if c.rtoTimer == nil || !c.rtoTimer.Pending() {
+			c.armRTO()
+		}
+	}
+	c.fireWritable()
+}
+
+func (c *Conn) transmit(seg *Segment) {
+	seg.From = c.id
+	if debugLog != nil {
+		debugLog(fmt.Sprintf("%v %s tx seq=%d len=%d ack=%d flags=%d", c.loop.Now(), c.id, seg.Seq, seg.Len, seg.Ack, seg.Flags))
+	}
+	c.out.Send(envelope{to: c.peer, seg: seg}, seg.wireSize())
+}
+
+func (c *Conn) armRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+	}
+	c.rtoTimer = c.loop.After(c.rtt.current(), c.onRTO)
+}
+
+func (c *Conn) stopRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+		c.rtoTimer = nil
+	}
+}
+
+// onRTO handles a retransmission timeout: collapse the window, back off
+// the timer, retransmit the earliest unacknowledged segment. When the
+// timeout is spurious — the original segments were merely stalled behind
+// a radio promotion — all of this damage was for nothing, which is the
+// paper's central finding.
+func (c *Conn) onRTO() {
+	if len(c.inflight) == 0 {
+		return
+	}
+	if c.caState != caLoss {
+		// Entering loss: snapshot for a possible DSACK undo, then
+		// collapse ssthresh based on the current cwnd.
+		c.undoActive = true
+		c.undoCwnd = c.cwnd
+		c.undoSsthresh = c.ssthresh
+		c.undoRetrans = 0
+		c.undoEpisode = 0
+
+		c.ssthresh = c.cc.SsthreshAfterLoss(c.cwnd)
+		c.cc.OnLoss(c.loop.Now(), c.cwnd)
+		c.recoverPoint = c.sndNxt
+	}
+	c.caState = caLoss
+	c.cwnd = 1
+	c.dupAcks = 0
+	c.lossAcks = 0
+	c.Retransmits++
+
+	// Mark every outstanding segment lost (Linux tcp_enter_loss):
+	// the first is retransmitted immediately, the rest follow through
+	// trySend as ACKs grow the window back.
+	for i := range c.inflight {
+		if !c.inflight[i].sacked {
+			c.inflight[i].lost = true
+		}
+	}
+	first := &c.inflight[0]
+	first.lost = false
+	first.retx = true
+	first.sentAt = c.loop.Now()
+	c.retransmitSeg(first)
+	c.probe(EvRetransmit)
+
+	c.rtt.backoff()
+	c.armRTO()
+}
+
+func (c *Conn) retransmitSeg(s *sentSeg) {
+	if c.undoActive {
+		c.undoRetrans++
+		c.undoEpisode++
+	}
+	seg := &Segment{
+		Flags: flagACK,
+		Seq:   s.seq,
+		Len:   s.len,
+		Ack:   c.rcvNxt,
+		Wnd:   c.recvWindow(),
+		Retx:  true,
+		TSVal: c.loop.Now(),
+		TSEcr: c.tsRecent,
+	}
+	c.transmit(seg)
+	c.lastDataSend = c.loop.Now()
+}
+
+// handleSegment is the demuxed receive entry point.
+func (c *Conn) handleSegment(seg *Segment) {
+	switch {
+	case seg.Flags&flagSYN != 0 && seg.Flags&flagACK == 0:
+		c.handleSYN()
+		return
+	case seg.Flags&flagSYN != 0 && seg.Flags&flagACK != 0:
+		c.handleSYNACK()
+		return
+	}
+	if seg.Flags&flagCTRL != 0 {
+		c.handleTLS(seg)
+		return
+	}
+	if c.state == stSynRcvd {
+		// First non-SYN segment from the client completes our side.
+		c.becomeEstablished()
+	}
+	if seg.Len > 0 {
+		c.receiveData(seg)
+	}
+	if seg.Flags&flagACK != 0 {
+		c.receiveAck(seg)
+	}
+	if seg.Flags&flagFIN != 0 && !c.finRcvd {
+		c.finRcvd = true
+		c.sendAckNow()
+		if c.onClose != nil {
+			c.onClose()
+		}
+	}
+}
+
+func (c *Conn) handleSYN() {
+	if c.isClient {
+		return // simultaneous open not modeled
+	}
+	if c.state == stClosed {
+		c.state = stSynRcvd
+		// Retransmit the SYN-ACK until the handshake completes: if the
+		// client's final ACK is lost and the application never sends
+		// upstream data, this timer is the only way out of SYN_RCVD.
+		var retry func()
+		retry = func() {
+			if c.state != stSynRcvd {
+				return
+			}
+			c.transmit(&Segment{Flags: flagSYN | flagACK, Wnd: c.recvWindow()})
+			c.loop.After(c.cfg.InitialRTO, retry)
+		}
+		c.loop.After(c.cfg.InitialRTO, retry)
+	}
+	c.transmit(&Segment{Flags: flagSYN | flagACK, Wnd: c.recvWindow()})
+}
+
+func (c *Conn) handleSYNACK() {
+	if !c.isClient {
+		return
+	}
+	if c.state != stSynSent {
+		// Duplicate SYN-ACK: our handshake ACK was lost. Re-ACK so the
+		// server can leave SYN_RCVD.
+		if c.state == stEstablished || c.state == stClosing {
+			c.transmit(&Segment{Flags: flagACK, Ack: c.rcvNxt, Wnd: c.recvWindow()})
+		}
+		return
+	}
+	c.state = stEstablished
+	// Handshake ACK.
+	c.transmit(&Segment{Flags: flagACK, Ack: 0, Wnd: c.recvWindow()})
+	if c.cfg.TLS {
+		c.tlsStep = 1
+		c.transmit(&Segment{Flags: flagCTRL, CtrlLen: 250}) // ClientHello
+		return
+	}
+	c.finishEstablish()
+}
+
+func (c *Conn) becomeEstablished() {
+	if c.state != stSynRcvd {
+		return
+	}
+	c.state = stEstablished
+	if !c.cfg.TLS {
+		c.finishEstablish()
+	}
+}
+
+func (c *Conn) finishEstablish() {
+	c.probe(EvEstablished)
+	if c.onEstablished != nil {
+		fn := c.onEstablished
+		c.onEstablished = nil
+		fn()
+	}
+	c.trySend()
+}
+
+// handleTLS walks a modeled 2-RTT SSL exchange: ClientHello →
+// ServerHello+cert → client Finished → server Finished. Control bytes
+// ride the wire (and wake the radio) but occupy no TCP sequence space.
+func (c *Conn) handleTLS(seg *Segment) {
+	if c.state == stSynRcvd {
+		c.state = stEstablished
+	}
+	if c.isClient {
+		switch c.tlsStep {
+		case 1: // got ServerHello+cert
+			c.tlsStep = 2
+			c.transmit(&Segment{Flags: flagCTRL, CtrlLen: 350}) // key exchange + Finished
+		case 2: // got server Finished
+			c.tlsStep = 3
+			c.finishEstablish()
+		}
+		return
+	}
+	// Server side.
+	switch c.tlsStep {
+	case 0: // got ClientHello
+		c.tlsStep = 1
+		c.transmit(&Segment{Flags: flagCTRL, CtrlLen: 3000}) // ServerHello + certs
+	case 1: // got client Finished
+		c.tlsStep = 2
+		c.transmit(&Segment{Flags: flagCTRL, CtrlLen: 60}) // server Finished
+		c.finishEstablish()
+	}
+}
+
+func (c *Conn) recvWindow() int {
+	w := c.cfg.RecvBuffer - c.oooBytes
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// receiveData handles the receiver half: in-order delivery, out-of-order
+// buffering with duplicate detection, delayed ACKs.
+func (c *Conn) receiveData(seg *Segment) {
+	end := seg.Seq + uint64(seg.Len)
+	switch {
+	case end <= c.rcvNxt:
+		// Entirely old data: the peer retransmitted something we already
+		// have. This is the observable signature of a spurious
+		// retransmission; report it back as a DSACK.
+		c.SpuriousArrivals++
+		c.probe(EvSpurious)
+		c.pendingDsack = true
+		c.sendAckNow()
+		return
+	case seg.Seq > c.rcvNxt:
+		// Hole: buffer and emit an immediate duplicate ACK.
+		if _, dup := c.ooo[seg.Seq]; !dup {
+			c.ooo[seg.Seq] = seg.Len
+			c.oooBytes += seg.Len
+		}
+		c.sendAckNow()
+		return
+	}
+	// In-order (possibly partially overlapping) delivery.
+	c.tsRecent = seg.TSVal
+	advance := int(end - c.rcvNxt)
+	c.rcvNxt = end
+	// Drain contiguous out-of-order buffer.
+	for {
+		l, ok := c.ooo[c.rcvNxt]
+		if !ok {
+			break
+		}
+		delete(c.ooo, c.rcvNxt)
+		c.oooBytes -= l
+		c.rcvNxt += uint64(l)
+		advance += l
+	}
+	c.BytesRcvdApp += int64(advance)
+	// Schedule the ACK before notifying the application: the app may
+	// react by writing (e.g. the next HTTP request), whose piggybacked
+	// ACK then cancels the pending delayed ACK. Doing this after the
+	// callback would leave a stale timer that later fires a duplicate
+	// pure ACK — which the peer would count toward fast retransmit.
+	c.scheduleAck()
+	if c.onDeliver != nil {
+		c.onDeliver(advance)
+	}
+}
+
+// scheduleAck implements delayed ACKs: every second segment immediately,
+// otherwise after the delayed-ACK timeout.
+func (c *Conn) scheduleAck() {
+	c.segsSinceAck++
+	if c.segsSinceAck >= 2 {
+		c.sendAckNow()
+		return
+	}
+	if c.delayedAck == nil || !c.delayedAck.Pending() {
+		c.delayedAck = c.loop.After(c.cfg.DelayedAckTimeout, func() {
+			if c.segsSinceAck > 0 {
+				c.sendAckNow()
+			}
+		})
+	}
+}
+
+func (c *Conn) sendAckNow() {
+	c.ackPiggybacked()
+	if debugLog != nil {
+		debugLog(fmt.Sprintf("%v %s sendAck ack=%d dsack=%v", c.loop.Now(), c.id, c.rcvNxt, c.pendingDsack))
+	}
+	c.transmit(&Segment{Flags: flagACK, Ack: c.rcvNxt, Wnd: c.recvWindow(),
+		Dsack: c.pendingDsack, Sack: c.sackBlocks(), TSEcr: c.tsRecent})
+	c.pendingDsack = false
+}
+
+// sackBlocks summarizes the out-of-order buffer as up to four merged
+// byte ranges, ascending — the SACK option of RFC 2018.
+func (c *Conn) sackBlocks() [][2]uint64 {
+	if len(c.ooo) == 0 {
+		return nil
+	}
+	seqs := make([]uint64, 0, len(c.ooo))
+	for seq := range c.ooo {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	var blocks [][2]uint64
+	for _, seq := range seqs {
+		end := seq + uint64(c.ooo[seq])
+		if n := len(blocks); n > 0 && blocks[n-1][1] == seq {
+			blocks[n-1][1] = end
+			continue
+		}
+		blocks = append(blocks, [2]uint64{seq, end})
+	}
+	if len(blocks) > 4 {
+		blocks = blocks[:4]
+	}
+	return blocks
+}
+
+// ackPiggybacked resets delayed-ACK state because an ACK is about to ride
+// out (either pure or on a data segment).
+func (c *Conn) ackPiggybacked() {
+	c.segsSinceAck = 0
+	if c.delayedAck != nil {
+		c.delayedAck.Stop()
+	}
+}
+
+// receiveAck handles the sender half: cumulative ACK processing, RTT
+// sampling under Karn's rule, window growth, NewReno recovery.
+func (c *Conn) receiveAck(seg *Segment) {
+	c.peerWnd = seg.Wnd
+	c.applySack(seg.Sack)
+	if seg.Dsack && c.undoActive && !c.cfg.DisableUndo {
+		c.undoRetrans--
+		if c.undoRetrans <= 0 {
+			c.performUndo()
+		}
+	}
+	ack := seg.Ack
+	if ack > c.sndNxt {
+		ack = c.sndNxt
+	}
+	if ack > c.sndUna {
+		c.processNewAck(ack, seg)
+	} else if ack == c.sndUna && seg.Len == 0 && len(c.inflight) > 0 {
+		c.processDupAck()
+	}
+	c.trySend()
+}
+
+func (c *Conn) processNewAck(ack uint64, seg *Segment) {
+	ackedSegs := 0
+	spuriousTimeout := false
+	for len(c.inflight) > 0 {
+		s := c.inflight[0]
+		if s.seq+uint64(s.len) > ack {
+			break
+		}
+		if !s.retx && s.lost {
+			// F-RTO: the ACK covers a segment we marked lost but never
+			// retransmitted — the original made it through, so the
+			// timeout was spurious.
+			spuriousTimeout = true
+		}
+		c.inflight = c.inflight[1:]
+		ackedSegs++
+	}
+	if spuriousTimeout {
+		// Stop the go-back-N: nothing was actually lost.
+		for i := range c.inflight {
+			c.inflight[i].lost = false
+		}
+	}
+	c.sndUna = ack
+	c.rtt.progress()
+	// RFC 7323 RTT sampling: the ACK echoes the send timestamp of the
+	// segment that advanced the receiver's window, so the sample covers
+	// one true round trip — including any radio promotion stall the
+	// segment sat through, which is how the paper's RTO "grows large
+	// enough to accommodate the increased round trip time" (§5.5.1).
+	if seg.TSEcr > 0 {
+		c.rtt.sample(c.loop.Now().Sub(seg.TSEcr))
+	}
+
+	switch c.caState {
+	case caOpen:
+		c.growWindow(ackedSegs)
+	case caRecovery:
+		if ack >= c.recoverPoint {
+			c.cwnd = c.ssthresh
+			c.caState = caOpen
+			c.dupAcks = 0
+			c.cc.OnExitRecovery(c.loop.Now(), c.cwnd)
+		} else {
+			// NewReno partial ACK: retransmit the next hole, deflate.
+			if len(c.inflight) > 0 && !c.inflight[0].retx {
+				c.inflight[0].retx = true
+				c.inflight[0].sentAt = c.loop.Now()
+				c.retransmitSeg(&c.inflight[0])
+				c.FastRetransmits++
+				c.probe(EvFastRetx)
+			}
+			c.cwnd -= float64(ackedSegs)
+			if c.cwnd < 1 {
+				c.cwnd = 1
+			}
+			c.cwnd++
+		}
+	case caLoss:
+		c.lossAcks++
+		c.growWindow(ackedSegs)
+		if ack >= c.recoverPoint {
+			c.caState = caOpen
+			c.dupAcks = 0
+		}
+	}
+
+	c.probe(EvAck)
+	if len(c.inflight) == 0 {
+		c.stopRTO()
+	} else {
+		c.armRTO()
+	}
+}
+
+// applySack marks inflight segments held by the receiver and infers
+// losses: an unsacked segment with sacked data above it has been passed
+// over on the wire (RFC 6675 reordering threshold, simplified), so it is
+// queued for retransmission through the recovery path.
+func (c *Conn) applySack(blocks [][2]uint64) {
+	if len(blocks) == 0 {
+		return
+	}
+	var highest uint64
+	for _, b := range blocks {
+		if b[1] > highest {
+			highest = b[1]
+		}
+		for i := range c.inflight {
+			sg := &c.inflight[i]
+			if !sg.sacked && sg.seq >= b[0] && sg.seq+uint64(sg.len) <= b[1] {
+				sg.sacked = true
+				sg.lost = false
+			}
+		}
+	}
+	if c.caState == caOpen {
+		return
+	}
+	// Loss inference only inside a recovery episode: holes below the
+	// highest sacked byte are marked lost so the recovery loop repairs
+	// them paced by cwnd, instead of one hole per RTT.
+	for i := range c.inflight {
+		sg := &c.inflight[i]
+		if !sg.sacked && !sg.retx && sg.seq+uint64(sg.len) <= highest {
+			sg.lost = true
+		}
+	}
+}
+
+// performUndo rolls back a loss episode after DSACKs proved every
+// retransmission unnecessary (the radio promotion stalled the originals;
+// nothing was lost). The congestion window is restored, but — matching
+// what the paper observes in Figure 12, where ssthresh stays depressed
+// after a spurious timeout and the connection crawls through congestion
+// avoidance — the collapsed ssthresh is left in place. That lasting
+// damage is exactly what the §6.2.1 RTT-reset fix removes.
+func (c *Conn) performUndo() {
+	c.undoActive = false
+	for i := range c.inflight {
+		c.inflight[i].lost = false
+	}
+	if c.cwnd < c.undoCwnd {
+		c.cwnd = c.undoCwnd
+	}
+	// A short episode (one spurious timeout plus at most one backoff)
+	// undoes fully, ssthresh included — Figure 12's "ssthresh grows back
+	// quickly". Longer backoff chains leave ssthresh collapsed (repeated
+	// timeouts stop re-saving prior_ssthresh in Linux), which is the
+	// lasting damage the §6.2.1 fix removes.
+	if c.undoEpisode <= 2 && c.undoSsthresh > c.ssthresh {
+		c.ssthresh = c.undoSsthresh
+	}
+	c.caState = caOpen
+	c.dupAcks = 0
+	c.Undos++
+	c.probe(EvUndo)
+	c.trySend()
+}
+
+func (c *Conn) growWindow(ackedSegs int) {
+	if ackedSegs <= 0 {
+		return
+	}
+	// Congestion window validation (RFC 7661): only grow while the
+	// window was actually the limiting factor in the last transmission
+	// round. Without this, cwnd grows without bound while the receive
+	// window or the application caps transmission — the paper's Table 2
+	// max cwnd (197 segments ≈ the client's receive buffer) reflects
+	// exactly this behaviour.
+	if !c.wasCwndLimited {
+		return
+	}
+	if c.cwnd < c.ssthresh {
+		// Slow start: one segment per ACKed segment.
+		c.cwnd += float64(ackedSegs)
+		if c.cwnd > c.ssthresh && c.caState == caOpen {
+			c.cwnd = c.ssthresh + c.cc.OnAckCA(c.loop.Now(), c.ssthresh, ackedSegs, c.rtt.srtt)
+		}
+		return
+	}
+	c.cwnd += c.cc.OnAckCA(c.loop.Now(), c.cwnd, ackedSegs, c.rtt.srtt)
+}
+
+func (c *Conn) processDupAck() {
+	c.dupAcks++
+	if debugLog != nil {
+		debugLog(fmt.Sprintf("%v %s dupack#%d una=%d nxt=%d inflight=%d ca=%d",
+			c.loop.Now(), c.id, c.dupAcks, c.sndUna, c.sndNxt, len(c.inflight), c.caState))
+	}
+	switch c.caState {
+	case caOpen:
+		if c.dupAcks >= 3 {
+			// Fast retransmit + fast recovery.
+			c.undoActive = true
+			c.undoCwnd = c.cwnd
+			c.undoSsthresh = c.ssthresh
+			c.undoRetrans = 0
+			c.undoEpisode = 0
+
+			c.ssthresh = c.cc.SsthreshAfterLoss(c.cwnd)
+			c.cc.OnLoss(c.loop.Now(), c.cwnd)
+			c.recoverPoint = c.sndNxt
+			c.caState = caRecovery
+			c.cwnd = c.ssthresh + 3
+			if len(c.inflight) > 0 {
+				c.inflight[0].retx = true
+				c.inflight[0].sentAt = c.loop.Now()
+				c.retransmitSeg(&c.inflight[0])
+			}
+			c.FastRetransmits++
+			c.probe(EvFastRetx)
+			c.armRTO()
+		}
+	case caRecovery:
+		// Window inflation: each dup ACK signals a departed segment.
+		c.cwnd++
+	case caLoss:
+		// Duplicate ACKs during timeout recovery mean the receiver is
+		// taking delivery beyond the hole (out-of-order buffering), so
+		// the hole — original and any retransmission — was lost. Repair
+		// it on every third dupACK instead of waiting out the RTO
+		// backoff, as SACK-based Linux recovery effectively does.
+		if c.dupAcks%3 == 0 && len(c.inflight) > 0 && !c.inflight[0].sacked {
+			first := &c.inflight[0]
+			// Only re-send the hole if it hasn't been retransmitted
+			// within roughly one RTT — the copy may still be in flight.
+			rtt := c.rtt.srtt
+			if rtt <= 0 {
+				rtt = c.cfg.MinRTO
+			}
+			if !first.retx || c.loop.Now().Sub(first.sentAt) > rtt {
+				first.lost = false
+				first.retx = true
+				first.sentAt = c.loop.Now()
+				c.retransmitSeg(first)
+				c.FastRetransmits++
+				c.probe(EvFastRetx)
+				c.armRTO()
+			}
+		}
+	}
+}
+
+// String renders a compact state summary for debugging.
+func (c *Conn) String() string {
+	return fmt.Sprintf("%s state=%d cwnd=%.1f ssthresh=%.1f una=%d nxt=%d q=%d inflight=%d",
+		c.id, c.state, c.cwnd, c.ssthresh, c.sndUna, c.sndNxt, c.sendQueue, len(c.inflight))
+}

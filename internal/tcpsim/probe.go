@@ -1,0 +1,111 @@
+package tcpsim
+
+import (
+	"spdier/internal/sim"
+)
+
+// ProbeEvent labels why a probe sample was taken, mirroring what the
+// paper extracted from the tcp_probe kernel module and tcpdump.
+type ProbeEvent string
+
+const (
+	EvAck         ProbeEvent = "ack"
+	EvSend        ProbeEvent = "send"
+	EvRetransmit  ProbeEvent = "retransmit"  // RTO-driven
+	EvFastRetx    ProbeEvent = "fastretx"    // triple-dupack
+	EvIdleRestart ProbeEvent = "idlerestart" // cwnd validation after idle
+	EvRTTReset    ProbeEvent = "rttreset"    // the §6.2.1 fix firing
+	EvEstablished ProbeEvent = "established"
+	EvSpurious    ProbeEvent = "spurious" // retransmit later proven unnecessary
+	EvUndo        ProbeEvent = "undo"     // DSACK proved the episode spurious; cwnd/ssthresh restored
+)
+
+// ProbeSample is one tcp_probe-style record.
+type ProbeSample struct {
+	At       sim.Time
+	ConnID   string
+	Event    ProbeEvent
+	Cwnd     float64 // segments
+	Ssthresh float64 // segments
+	InFlight int     // bytes outstanding (unacknowledged)
+	RTOms    float64
+	SRTTms   float64
+}
+
+// Probe receives samples from connections. Implementations must be cheap;
+// they run inline with the event loop.
+type Probe interface {
+	Sample(ProbeSample)
+}
+
+// Recorder is a Probe that retains every sample, with per-event counters.
+type Recorder struct {
+	Samples []ProbeSample
+	Counts  map[ProbeEvent]int
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{Counts: make(map[ProbeEvent]int)}
+}
+
+// Sample implements Probe.
+func (r *Recorder) Sample(s ProbeSample) {
+	r.Samples = append(r.Samples, s)
+	r.Counts[s.Event]++
+}
+
+// Retransmissions reports the total retransmission count (timeout plus
+// fast retransmit), the quantity Figures 11-13 analyze.
+func (r *Recorder) Retransmissions() int {
+	return r.Counts[EvRetransmit] + r.Counts[EvFastRetx]
+}
+
+// SpuriousRetransmissions reports retransmissions for which the original
+// segment's ACK later arrived, proving the timeout premature.
+func (r *Recorder) SpuriousRetransmissions() int { return r.Counts[EvSpurious] }
+
+// Filter returns the samples matching the given event.
+func (r *Recorder) Filter(ev ProbeEvent) []ProbeSample {
+	var out []ProbeSample
+	for _, s := range r.Samples {
+		if s.Event == ev {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByConn splits samples per connection ID.
+func (r *Recorder) ByConn() map[string][]ProbeSample {
+	out := make(map[string][]ProbeSample)
+	for _, s := range r.Samples {
+		out[s.ConnID] = append(out[s.ConnID], s)
+	}
+	return out
+}
+
+// MaxCwnd returns the largest congestion window seen (Table 2's
+// "Max cwnd" row).
+func (r *Recorder) MaxCwnd() float64 {
+	var m float64
+	for _, s := range r.Samples {
+		if s.Cwnd > m {
+			m = s.Cwnd
+		}
+	}
+	return m
+}
+
+// MeanCwnd returns the average congestion window across samples
+// (Table 2's "Avg cwnd" row).
+func (r *Recorder) MeanCwnd() float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range r.Samples {
+		sum += s.Cwnd
+	}
+	return sum / float64(len(r.Samples))
+}

@@ -1,0 +1,49 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"spdier/internal/netem"
+	"spdier/internal/sim"
+)
+
+// TestRegressionHalfOpenHandshake reproduces a deadlock found by the
+// transfer property test: the client's final handshake ACK is lost, the
+// application only ever sends server→client, and without SYN-ACK
+// retransmission (and duplicate-SYN-ACK re-ACKing) the server waits in
+// SYN_RCVD forever while its send queue grows.
+func TestRegressionHalfOpenHandshake(t *testing.T) {
+	seed := uint64(13675054744402028457)
+	loop := sim.NewLoop()
+	cfg := netem.PathConfig{
+		Up: netem.LinkConfig{
+			BandwidthBPS: 2_000_000, Delay: 50 * time.Millisecond,
+			Jitter: 10 * time.Millisecond, QueueBytes: 128 << 10, LossRate: 0.03 / 4,
+		},
+		Down: netem.LinkConfig{
+			BandwidthBPS: 8_000_000, Delay: 50 * time.Millisecond,
+			Jitter: 10 * time.Millisecond, QueueBytes: 20_000, LossRate: 0.03,
+		},
+	}
+	path := netem.NewPath(loop, cfg, sim.NewRNG(seed), nil)
+	nw := NewNetwork(loop, path)
+	client, server := nw.NewConnPair(DefaultConfig(), DefaultConfig(), "prop", "d")
+	total := 0
+	client.OnEstablished(func() {
+		rng := sim.NewRNG(seed ^ 0xfeed)
+		at := loop.Now()
+		for i := 0; i < 2; i++ {
+			n := 10_000 + rng.Intn(150_000)
+			total += n
+			at = at.Add(time.Duration(rng.Intn(8000)) * time.Millisecond)
+			loop.At(at, func() { server.Write(n) })
+		}
+	})
+	client.Connect()
+	loop.Run(10 * sim.Minute)
+	if int(client.BytesRcvdApp) != total {
+		t.Fatalf("half-open handshake deadlock: delivered %d of %d (server %v)",
+			client.BytesRcvdApp, total, server)
+	}
+}

@@ -1,0 +1,128 @@
+package tcpsim
+
+import "time"
+
+// rttEstimator implements RFC 6298 smoothed RTT / RTO computation.
+// It is the component the paper indicts: the estimate survives idle
+// periods even though the cellular latency profile does not.
+type rttEstimator struct {
+	srtt   time.Duration
+	rttvar time.Duration
+	rto    time.Duration // base RTO before exponential backoff
+	valid  bool          // at least one sample taken
+
+	// backoffN counts consecutive timeouts. The effective timeout is
+	// rto << backoffN; progress (an ACK advancing snd_una) clears it,
+	// as Linux clears icsk_backoff.
+	backoffN uint
+
+	initialRTO time.Duration
+	minRTO     time.Duration
+	maxRTO     time.Duration
+}
+
+// current returns the effective (backed-off) retransmission timeout.
+func (e *rttEstimator) current() time.Duration {
+	d := e.rto
+	for i := uint(0); i < e.backoffN; i++ {
+		d *= 2
+		if d >= e.maxRTO {
+			return e.maxRTO
+		}
+	}
+	if d > e.maxRTO {
+		d = e.maxRTO
+	}
+	return d
+}
+
+const clockGranularity = time.Millisecond
+
+func newRTTEstimator(initial, min, max time.Duration) rttEstimator {
+	return rttEstimator{
+		rto:        initial,
+		initialRTO: initial,
+		minRTO:     min,
+		maxRTO:     max,
+	}
+}
+
+// sample folds one RTT measurement in (RFC 6298 §2).
+func (e *rttEstimator) sample(rtt time.Duration) {
+	if rtt <= 0 {
+		rtt = clockGranularity
+	}
+	if !e.valid {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+		e.valid = true
+	} else {
+		diff := e.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		e.rttvar = (3*e.rttvar + diff) / 4
+		e.srtt = (7*e.srtt + rtt) / 8
+	}
+	e.rto = e.srtt + max4(clockGranularity, 4*e.rttvar)
+	e.clamp()
+}
+
+func max4(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (e *rttEstimator) clamp() {
+	if e.rto < e.minRTO {
+		e.rto = e.minRTO
+	}
+	if e.rto > e.maxRTO {
+		e.rto = e.maxRTO
+	}
+}
+
+// backoff doubles the effective RTO after a timeout (RFC 6298 §5.5).
+func (e *rttEstimator) backoff() {
+	if e.backoffN < 16 {
+		e.backoffN++
+	}
+}
+
+// progress clears exponential backoff when the peer acknowledges new
+// data, even if Karn's rule prevented an RTT sample.
+func (e *rttEstimator) progress() {
+	e.backoffN = 0
+}
+
+// reset discards the estimate entirely, restoring the conservative
+// initial RTO. This is the paper's §6.2.1 proposal applied after idle:
+// the multi-second default exceeds the 3G promotion delay, so the first
+// post-idle transfer no longer times out spuriously.
+func (e *rttEstimator) reset() {
+	e.valid = false
+	e.srtt = 0
+	e.rttvar = 0
+	e.rto = e.initialRTO
+	e.backoffN = 0
+}
+
+// seed installs a cached estimate (Linux tcp_metrics behaviour at
+// connection establishment). Like tcp_init_metrics, the deviation is
+// floored at srtt/2 so a fresh connection starts with a conservative
+// RTO (≈3·srtt) and tightens only after its own samples.
+func (e *rttEstimator) seed(srtt, rttvar time.Duration) {
+	if srtt <= 0 {
+		return
+	}
+	e.srtt = srtt
+	e.rttvar = rttvar
+	if floor := srtt / 2; e.rttvar < floor {
+		e.rttvar = floor
+	}
+	e.valid = true
+	e.rto = e.srtt + max4(clockGranularity, 4*e.rttvar)
+	e.clamp()
+}

@@ -1,0 +1,142 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestEstimator() rttEstimator {
+	return newRTTEstimator(3*time.Second, 200*time.Millisecond, 120*time.Second)
+}
+
+func TestRTTFirstSample(t *testing.T) {
+	e := newTestEstimator()
+	if e.current() != 3*time.Second {
+		t.Fatalf("initial RTO %v", e.current())
+	}
+	e.sample(100 * time.Millisecond)
+	// RFC 6298: SRTT=R, RTTVAR=R/2, RTO=SRTT+4*RTTVAR = 300ms.
+	if e.srtt != 100*time.Millisecond || e.rttvar != 50*time.Millisecond {
+		t.Fatalf("srtt=%v rttvar=%v", e.srtt, e.rttvar)
+	}
+	if e.current() != 300*time.Millisecond {
+		t.Fatalf("RTO %v, want 300ms", e.current())
+	}
+}
+
+func TestRTTSmoothing(t *testing.T) {
+	e := newTestEstimator()
+	e.sample(100 * time.Millisecond)
+	e.sample(200 * time.Millisecond)
+	// srtt = 7/8*100 + 1/8*200 = 112.5ms
+	want := time.Duration(112500) * time.Microsecond
+	if e.srtt != want {
+		t.Fatalf("srtt %v, want %v", e.srtt, want)
+	}
+}
+
+func TestRTOMinClamp(t *testing.T) {
+	e := newTestEstimator()
+	for i := 0; i < 50; i++ {
+		e.sample(10 * time.Millisecond) // stable tiny RTT
+	}
+	if e.current() != 200*time.Millisecond {
+		t.Fatalf("RTO %v should clamp to MinRTO", e.current())
+	}
+}
+
+func TestBackoffDoublesAndProgressResets(t *testing.T) {
+	e := newTestEstimator()
+	e.sample(100 * time.Millisecond) // RTO 300ms
+	e.backoff()
+	if e.current() != 600*time.Millisecond {
+		t.Fatalf("after 1 backoff: %v", e.current())
+	}
+	e.backoff()
+	e.backoff()
+	if e.current() != 2400*time.Millisecond {
+		t.Fatalf("after 3 backoffs: %v", e.current())
+	}
+	e.progress()
+	if e.current() != 300*time.Millisecond {
+		t.Fatalf("progress did not clear backoff: %v", e.current())
+	}
+}
+
+func TestBackoffCapsAtMax(t *testing.T) {
+	e := newTestEstimator()
+	e.sample(100 * time.Millisecond)
+	for i := 0; i < 40; i++ {
+		e.backoff()
+	}
+	if e.current() != 120*time.Second {
+		t.Fatalf("RTO %v should cap at MaxRTO", e.current())
+	}
+}
+
+func TestResetRestoresInitial(t *testing.T) {
+	e := newTestEstimator()
+	e.sample(100 * time.Millisecond)
+	e.backoff()
+	e.reset()
+	if e.valid || e.srtt != 0 || e.current() != 3*time.Second {
+		t.Fatalf("reset incomplete: %+v current=%v", e, e.current())
+	}
+	// The paper's fix depends on this exceeding the promotion delay.
+	if e.current() <= 2*time.Second {
+		t.Fatal("initial RTO must exceed the 3G promotion delay")
+	}
+}
+
+func TestSeedFloorsDeviation(t *testing.T) {
+	e := newTestEstimator()
+	e.seed(200*time.Millisecond, 5*time.Millisecond)
+	// tcp_init_metrics floors mdev at srtt/2 ⇒ RTO = 200 + 4*100 = 600ms.
+	if e.rttvar != 100*time.Millisecond {
+		t.Fatalf("seeded rttvar %v, want floor 100ms", e.rttvar)
+	}
+	if e.current() != 600*time.Millisecond {
+		t.Fatalf("seeded RTO %v", e.current())
+	}
+	// A large cached variance is preserved as-is.
+	e2 := newTestEstimator()
+	e2.seed(200*time.Millisecond, 150*time.Millisecond)
+	if e2.rttvar != 150*time.Millisecond {
+		t.Fatalf("large rttvar clobbered: %v", e2.rttvar)
+	}
+}
+
+func TestSeedIgnoresZero(t *testing.T) {
+	e := newTestEstimator()
+	e.seed(0, 0)
+	if e.valid {
+		t.Fatal("zero seed should be ignored")
+	}
+}
+
+func TestSampleZeroClampsToGranularity(t *testing.T) {
+	e := newTestEstimator()
+	e.sample(0)
+	if !e.valid || e.srtt != clockGranularity {
+		t.Fatalf("zero sample handling: %v", e.srtt)
+	}
+}
+
+func TestVarianceTracksJitter(t *testing.T) {
+	e := newTestEstimator()
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			e.sample(100 * time.Millisecond)
+		} else {
+			e.sample(300 * time.Millisecond)
+		}
+	}
+	// rttvar should stay near the mean deviation (~100ms), keeping RTO
+	// well above srtt.
+	if e.rttvar < 60*time.Millisecond {
+		t.Fatalf("rttvar collapsed despite jitter: %v", e.rttvar)
+	}
+	if e.current() < e.srtt+200*time.Millisecond {
+		t.Fatalf("RTO too tight: %v vs srtt %v", e.current(), e.srtt)
+	}
+}

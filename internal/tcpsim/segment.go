@@ -1,0 +1,101 @@
+// Package tcpsim implements a segment-level TCP model faithful enough to
+// reproduce the paper's cross-layer pathology: RFC 6298 retransmission
+// timers with Karn's rule, slow start and congestion avoidance, NewReno
+// fast retransmit/recovery, Reno and CUBIC congestion control, congestion
+// window validation after idle (Linux tcp_slow_start_after_idle), a
+// per-destination metrics cache (Linux tcp_metrics), receive-window flow
+// control, and the paper's proposed RTT-reset-after-idle fix.
+//
+// Payload bytes are modeled as counts, not buffers: the application
+// writes N bytes and the peer application is told when in-order bytes
+// arrive. A StreamAssembler maps byte arrival back to message boundaries
+// for the HTTP/SPDY layers above.
+package tcpsim
+
+import (
+	"spdier/internal/sim"
+)
+
+// segment flags.
+const (
+	flagSYN = 1 << iota
+	flagACK
+	flagFIN
+	flagCTRL // out-of-band handshake payload (TLS model); no seq space
+)
+
+// headerBytes is the wire overhead charged per segment (IP + TCP with
+// timestamps, rounded).
+const headerBytes = 40
+
+// Segment is the unit crossing the emulated path.
+type Segment struct {
+	From    string // sender conn ID, for tracing
+	Flags   int
+	Seq     uint64      // first payload byte
+	Len     int         // payload bytes
+	Ack     uint64      // cumulative ack (valid if flagACK)
+	Wnd     int         // advertised receive window, bytes
+	Retx    bool        // this is a retransmission
+	Dsack   bool        // ACK reports receipt of an already-received segment
+	Sack    [][2]uint64 // SACK blocks: out-of-order byte ranges held by the receiver
+	TSVal   sim.Time    // sender timestamp (RFC 7323), set on data segments
+	TSEcr   sim.Time    // echoed timestamp on ACKs; drives RTT sampling
+	CtrlLen int         // modeled control payload (TLS handshake legs)
+}
+
+// wireSize is the number of bytes the segment occupies on the link.
+func (s *Segment) wireSize() int { return headerBytes + s.Len + s.CtrlLen }
+
+// sentSeg is the sender's record of an in-flight segment.
+type sentSeg struct {
+	seq    uint64
+	len    int
+	sentAt sim.Time
+	retx   bool // ever retransmitted (Karn: no RTT sample)
+	lost   bool // marked lost after an RTO; awaiting retransmission
+	sacked bool // receiver holds this segment (SACK); never retransmit
+}
+
+// StreamAssembler converts the in-order byte arrivals reported by a Conn
+// back into application message completions. Messages complete strictly
+// in the order they were expected, mirroring the FIFO byte stream.
+type StreamAssembler struct {
+	queue []expected
+	avail int // delivered bytes not yet consumed by a message
+}
+
+type expected struct {
+	size int
+	done func()
+}
+
+// Expect registers the next message of the given size; done fires when
+// the final byte of the message has been delivered in order.
+func (a *StreamAssembler) Expect(size int, done func()) {
+	if size < 0 {
+		panic("tcpsim: negative message size")
+	}
+	a.queue = append(a.queue, expected{size: size, done: done})
+	a.drain()
+}
+
+// Deliver feeds n newly arrived in-order bytes into the assembler.
+func (a *StreamAssembler) Deliver(n int) {
+	a.avail += n
+	a.drain()
+}
+
+func (a *StreamAssembler) drain() {
+	for len(a.queue) > 0 && a.avail >= a.queue[0].size {
+		m := a.queue[0]
+		a.queue = a.queue[1:]
+		a.avail -= m.size
+		if m.done != nil {
+			m.done()
+		}
+	}
+}
+
+// PendingMessages reports how many expected messages are incomplete.
+func (a *StreamAssembler) PendingMessages() int { return len(a.queue) }

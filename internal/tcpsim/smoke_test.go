@@ -1,0 +1,119 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"spdier/internal/netem"
+	"spdier/internal/rrc"
+	"spdier/internal/sim"
+)
+
+// wiredNet builds a loss-free fast path for basic correctness tests.
+func wiredNet(loop *sim.Loop, seed uint64) *Network {
+	cfg := netem.PathConfig{
+		Up:   netem.LinkConfig{BandwidthBPS: 10_000_000, Delay: 10 * time.Millisecond},
+		Down: netem.LinkConfig{BandwidthBPS: 10_000_000, Delay: 10 * time.Millisecond},
+	}
+	path := netem.NewPath(loop, cfg, sim.NewRNG(seed), nil)
+	return NewNetwork(loop, path)
+}
+
+func TestSmokeTransfer(t *testing.T) {
+	loop := sim.NewLoop()
+	nw := wiredNet(loop, 1)
+	client, server := nw.NewConnPair(DefaultConfig(), DefaultConfig(), "t", "client")
+
+	const total = 500_000
+	got := 0
+	client.OnDeliver(func(n int) { got += n })
+	client.OnEstablished(func() {
+		server.Write(total)
+	})
+	client.Connect()
+	loop.Run(30 * sim.Second)
+
+	if got != total {
+		t.Fatalf("delivered %d bytes, want %d", got, total)
+	}
+	if server.Retransmits != 0 {
+		t.Fatalf("unexpected retransmits on clean path: %d", server.Retransmits)
+	}
+	t.Logf("done at %v, cwnd=%.1f srtt=%v", loop.Now(), server.Cwnd(), server.SRTT())
+}
+
+func TestSmoke3GPromotionSpuriousRetx(t *testing.T) {
+	loop := sim.NewLoop()
+	radio := rrc.NewMachine(loop, rrc.Profile3G())
+	pc := netem.Profile3G()
+	pc.Up.LossRate = 0
+	pc.Down.LossRate = 0
+	path := netem.NewPath(loop, pc, sim.NewRNG(2), radio)
+	nw := NewNetwork(loop, path)
+
+	scfg := DefaultConfig()
+	rec := NewRecorder()
+	scfg.Probe = rec
+	client, server := nw.NewConnPair(DefaultConfig(), scfg, "g", "client")
+
+	got := 0
+	client.OnDeliver(func(n int) { got += n })
+	client.OnEstablished(func() { server.Write(200_000) })
+	client.Connect()
+	loop.Run(30 * sim.Second)
+	if got != 200_000 {
+		t.Fatalf("first burst: got %d", got)
+	}
+
+	// Go idle long enough for the radio to demote to IDLE (5s + 12s),
+	// then send again: the promotion delay (2s) should beat the RTO and
+	// trigger a spurious retransmission.
+	idleUntil := loop.Now().Add(20 * time.Second)
+	loop.At(idleUntil, func() { server.Write(100_000) })
+	loop.Run(idleUntil.Add(30 * time.Second))
+
+	if got != 300_000 {
+		t.Fatalf("after idle: got %d want 300000", got)
+	}
+	if server.Retransmits == 0 {
+		t.Fatalf("expected RTO retransmissions after idle+promotion, got none (radio state %v, promotions %d)",
+			radio.State(), radio.Promotions())
+	}
+	if client.SpuriousArrivals == 0 {
+		t.Fatalf("expected spurious (duplicate) arrivals at client")
+	}
+	t.Logf("retx=%d spurious=%d idleRestarts=%d promotions=%d cwnd=%.1f ssthresh=%.1f",
+		server.Retransmits, client.SpuriousArrivals, server.IdleRestarts, radio.Promotions(),
+		server.Cwnd(), server.Ssthresh())
+}
+
+func TestSmokeRTTResetFixAvoidsSpurious(t *testing.T) {
+	loop := sim.NewLoop()
+	radio := rrc.NewMachine(loop, rrc.Profile3G())
+	pc := netem.Profile3G()
+	pc.Up.LossRate = 0
+	pc.Down.LossRate = 0
+	path := netem.NewPath(loop, pc, sim.NewRNG(2), radio)
+	nw := NewNetwork(loop, path)
+
+	scfg := DefaultConfig()
+	scfg.ResetRTTAfterIdle = true
+	client, server := nw.NewConnPair(DefaultConfig(), scfg, "f", "client")
+
+	got := 0
+	client.OnDeliver(func(n int) { got += n })
+	client.OnEstablished(func() { server.Write(200_000) })
+	client.Connect()
+	loop.Run(30 * sim.Second)
+
+	idleUntil := loop.Now().Add(20 * time.Second)
+	loop.At(idleUntil, func() { server.Write(100_000) })
+	loop.Run(idleUntil.Add(30 * time.Second))
+
+	if got != 300_000 {
+		t.Fatalf("after idle: got %d want 300000", got)
+	}
+	if server.Retransmits != 0 {
+		t.Fatalf("RTT-reset fix should avoid spurious RTO, got %d retransmits", server.Retransmits)
+	}
+}

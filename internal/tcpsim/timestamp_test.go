@@ -1,0 +1,132 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"spdier/internal/netem"
+	"spdier/internal/rrc"
+	"spdier/internal/sim"
+)
+
+// TestTimestampSamplingTracksPathRTT verifies that after a multi-hole
+// recovery, RTT samples reflect the current path RTT (timestamp echo of
+// the repairing segment) rather than the age of long-stuck segments.
+func TestTimestampSamplingTracksPathRTT(t *testing.T) {
+	cfg := cleanPath()
+	cfg.Down.QueueBytes = 30_000 // force drop bursts
+	w := newWorld(cfg, 6)
+	client, server := w.net.NewConnPair(DefaultConfig(), DefaultConfig(), "ts", "d")
+	client.OnDeliver(func(int) {})
+	client.OnEstablished(func() { server.Write(400_000) })
+	client.Connect()
+	end := w.loop.Run(sim.Forever)
+	if client.BytesRcvdApp != 400_000 {
+		t.Fatalf("incomplete: %d", client.BytesRcvdApp)
+	}
+	// Base RTT is 40 ms + ~25 ms of queue; a sampler polluted by stuck
+	// segments would report seconds.
+	if server.SRTT() > 300*time.Millisecond {
+		t.Fatalf("srtt %v polluted by cumulative-ack ambiguity", server.SRTT())
+	}
+	if end > 20*sim.Second {
+		t.Fatalf("recovery dragged to %v", end)
+	}
+}
+
+// TestTimestampSamplesPromotionDelay verifies the paper's §5.5.1
+// observation: the RTT sample taken across a radio promotion inflates
+// the estimate, so a subsequent short idle does NOT time out spuriously
+// ("the RTO value [had] grown large enough").
+func TestTimestampSamplesPromotionDelay(t *testing.T) {
+	loop := sim.NewLoop()
+	radio := rrc.NewMachine(loop, rrc.Profile3G())
+	pc := netem.Profile3G()
+	pc.Up.LossRate, pc.Down.LossRate = 0, 0
+	path := netem.NewPath(loop, pc, sim.NewRNG(2), radio)
+	nw := NewNetwork(loop, path)
+	client, server := nw.NewConnPair(DefaultConfig(), DefaultConfig(), "pd", "d")
+	client.OnDeliver(func(int) {})
+	client.OnEstablished(func() { server.Write(20_000) })
+	client.Connect()
+	loop.Run(10 * sim.Second)
+	// The handshake absorbed the initial promotion; data samples are
+	// ordinary path RTTs here.
+	if server.SRTT() > 600*time.Millisecond {
+		t.Fatalf("active-radio srtt %v implausible", server.SRTT())
+	}
+	// Idle long enough for the radio to sleep, then send: the first
+	// post-idle flight sits through the 2 s promotion, and its ACK's
+	// timestamp echo must pull the estimate up (§5.5.1: "the RTO value
+	// [has] grown large enough to accommodate the increased RTT").
+	at := loop.Now().Add(25 * time.Second)
+	loop.At(at, func() { server.Write(20_000) })
+	loop.Run(at.Add(100 * time.Millisecond))
+	preRTO := server.RTO()
+	loop.Run(at.Add(10 * time.Second))
+	if server.SRTT() < 500*time.Millisecond {
+		t.Fatalf("srtt %v did not absorb the promotion delay", server.SRTT())
+	}
+	if server.RTO() <= preRTO {
+		t.Fatalf("RTO did not grow after sampling the promotion: %v vs %v", server.RTO(), preRTO)
+	}
+}
+
+// TestCwndValidationCapsGrowthAtReceiveWindow: with a transfer limited by
+// the peer's receive window, cwnd must stop growing near the limit
+// instead of inflating unboundedly (RFC 7661; the paper's Table 2 max
+// cwnd sits at the receive-buffer ceiling).
+func TestCwndValidationCapsGrowthAtReceiveWindow(t *testing.T) {
+	cfg := cleanPath()
+	cfg.Down.Delay = 100 * time.Millisecond // BDP above rwnd
+	cfg.Up.Delay = 100 * time.Millisecond
+	w := newWorld(cfg, 7)
+	ccfg := DefaultConfig()
+	ccfg.RecvBuffer = 64 << 10
+	client, server := w.net.NewConnPair(ccfg, DefaultConfig(), "cv", "d")
+	client.OnDeliver(func(int) {})
+	client.OnEstablished(func() { server.Write(5_000_000) })
+	client.Connect()
+	w.loop.Run(sim.Forever)
+	rwndSegs := float64(64<<10) / 1380
+	if server.Cwnd() > rwndSegs*2 {
+		t.Fatalf("cwnd %.0f inflated far past the %0.f-segment receive window", server.Cwnd(), rwndSegs)
+	}
+}
+
+// TestDisableUndoKeepsDamage: with undo disabled, a spurious timeout's
+// ssthresh collapse must persist.
+func TestDisableUndoKeepsDamage(t *testing.T) {
+	run := func(disable bool) (ssthresh float64, undos int) {
+		loop := sim.NewLoop()
+		radio := rrc.NewMachine(loop, rrc.Profile3G())
+		pc := netem.Profile3G()
+		pc.Up.LossRate, pc.Down.LossRate = 0, 0
+		path := netem.NewPath(loop, pc, sim.NewRNG(2), radio)
+		nw := NewNetwork(loop, path)
+		scfg := DefaultConfig()
+		scfg.DisableUndo = disable
+		client, server := nw.NewConnPair(DefaultConfig(), scfg, "du", "d")
+		client.OnDeliver(func(int) {})
+		client.OnEstablished(func() { server.Write(200_000) })
+		client.Connect()
+		loop.Run(30 * sim.Second)
+		// Long idle so the radio sleeps, then a post-idle burst that hits
+		// a spurious timeout.
+		at := loop.Now().Add(25 * time.Second)
+		loop.At(at, func() { server.Write(100_000) })
+		loop.Run(at.Add(30 * time.Second))
+		return server.Ssthresh(), server.Undos
+	}
+	withUndoSS, withUndos := run(false)
+	noUndoSS, noUndos := run(true)
+	if noUndos != 0 {
+		t.Fatalf("undo fired despite being disabled: %d", noUndos)
+	}
+	if withUndos == 0 {
+		t.Fatalf("undo never fired on the stock stack")
+	}
+	if noUndoSS >= withUndoSS {
+		t.Fatalf("disabled undo should leave ssthresh depressed: %v vs %v", noUndoSS, withUndoSS)
+	}
+}

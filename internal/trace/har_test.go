@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"spdier/internal/webpage"
+)
+
+func samplePage() *PageRecord {
+	obj := &webpage.Object{ID: 1, Kind: webpage.KindImg, Size: 5000, Domain: "d.example", Path: "/a.jpg"}
+	return &PageRecord{
+		Page:   &webpage.Page{Name: "p", Objects: []*webpage.Object{obj}},
+		Start:  ms(1000),
+		OnLoad: ms(3000),
+		Objects: []*ObjectRecord{{
+			Obj:        obj,
+			Discovered: ms(1000),
+			Requested:  ms(1100),
+			FirstByte:  ms(1400),
+			Done:       ms(1900),
+			ConnID:     "h001",
+		}},
+	}
+}
+
+func TestBuildHAR(t *testing.T) {
+	har := BuildHAR([]*PageRecord{samplePage(), nil})
+	if len(har.Log.Pages) != 1 || len(har.Log.Entries) != 1 {
+		t.Fatalf("pages=%d entries=%d", len(har.Log.Pages), len(har.Log.Entries))
+	}
+	p := har.Log.Pages[0]
+	if p.PageTimings.OnLoad != 2000 {
+		t.Fatalf("onLoad %v", p.PageTimings.OnLoad)
+	}
+	e := har.Log.Entries[0]
+	if e.Request.URL != "http://d.example/a.jpg" {
+		t.Fatalf("url %q", e.Request.URL)
+	}
+	if e.Timings.Blocked != 100 || e.Timings.Wait != 300 || e.Timings.Receive != 500 {
+		t.Fatalf("timings %+v", e.Timings)
+	}
+	// HAR invariant: time == blocked + send + wait + receive.
+	if sum := e.Timings.Blocked + e.Timings.Send + e.Timings.Wait + e.Timings.Receive; sum != e.Time {
+		t.Fatalf("timings sum %v != time %v", sum, e.Time)
+	}
+	if e.Time != 900 {
+		t.Fatalf("total %v", e.Time)
+	}
+	if e.Response.Content.MimeType != "image/jpeg" || e.Response.BodySize != 5000 {
+		t.Fatalf("response %+v", e.Response)
+	}
+	if e.Connection != "h001" {
+		t.Fatalf("connection %q", e.Connection)
+	}
+}
+
+func TestWriteHARIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHAR(&buf, []*PageRecord{samplePage()}); err != nil {
+		t.Fatal(err)
+	}
+	var round HAR
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if round.Log.Version != "1.2" || round.Log.Creator.Name != "spdier" {
+		t.Fatalf("log head %+v", round.Log)
+	}
+	if !strings.Contains(buf.String(), "startedDateTime") {
+		t.Fatal("missing timestamps")
+	}
+}
+
+func TestHARSkipsIncompleteObjects(t *testing.T) {
+	pr := samplePage()
+	pr.Objects = append(pr.Objects, &ObjectRecord{
+		Obj:        pr.Page.Objects[0],
+		Discovered: ms(1500), // never finished
+	})
+	har := BuildHAR([]*PageRecord{pr})
+	if len(har.Log.Entries) != 1 {
+		t.Fatalf("incomplete object exported: %d entries", len(har.Log.Entries))
+	}
+}

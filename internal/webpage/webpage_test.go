@@ -1,0 +1,178 @@
+package webpage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spdier/internal/sim"
+)
+
+func TestTable1HasTwentySites(t *testing.T) {
+	specs := Table1()
+	if len(specs) != 20 {
+		t.Fatalf("%d sites", len(specs))
+	}
+	for i, s := range specs {
+		if s.Index != i+1 {
+			t.Fatalf("site %d has index %d", i, s.Index)
+		}
+		if s.TotalObjs <= 0 || s.AvgSizeKB <= 0 || s.Domains < 1 {
+			t.Fatalf("site %d degenerate: %+v", i, s)
+		}
+	}
+	// Spot-check published values.
+	if specs[8].TotalObjs != 5.1 || specs[14].TotalObjs != 323.0 {
+		t.Fatal("published counts corrupted")
+	}
+	if specs[16].AvgSizeKB != 4691.3 {
+		t.Fatal("published size corrupted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Table1()[6]
+	a := Generate(spec, sim.NewRNG(99))
+	b := Generate(spec, sim.NewRNG(99))
+	if len(a.Objects) != len(b.Objects) || a.TotalBytes() != b.TotalBytes() {
+		t.Fatal("same seed produced different pages")
+	}
+	for i := range a.Objects {
+		if *a.Objects[i] != *b.Objects[i] {
+			t.Fatalf("object %d differs", i)
+		}
+	}
+}
+
+func TestGenerateMatchesMarginals(t *testing.T) {
+	for _, spec := range Table1() {
+		var objs, kb, doms float64
+		const runs = 8
+		for s := uint64(0); s < runs; s++ {
+			p := Generate(spec, sim.NewRNG(s))
+			objs += float64(len(p.Objects))
+			kb += float64(p.TotalBytes()) / 1024
+			doms += float64(len(p.Domains()))
+		}
+		objs, kb, doms = objs/runs, kb/runs, doms/runs
+		if objs < spec.TotalObjs*0.85 || objs > spec.TotalObjs*1.15 {
+			t.Errorf("site %d: objects %.1f vs published %.1f", spec.Index, objs, spec.TotalObjs)
+		}
+		if kb < spec.AvgSizeKB*0.8 || kb > spec.AvgSizeKB*1.2 {
+			t.Errorf("site %d: weight %.0fKB vs published %.0fKB", spec.Index, kb, spec.AvgSizeKB)
+		}
+		want := float64(int(spec.Domains + 0.5))
+		if doms != want && spec.Domains >= 1 {
+			t.Errorf("site %d: domains %.1f vs %.1f", spec.Index, doms, want)
+		}
+	}
+}
+
+func TestDependencyGraphWellFormed(t *testing.T) {
+	check := func(seed uint64, idx uint8) bool {
+		spec := Table1()[int(idx)%20]
+		p := Generate(spec, sim.NewRNG(seed))
+		if p.Main().ID != 0 || p.Main().Parent != -1 || p.Main().Wave != 0 {
+			return false
+		}
+		byID := map[int]*Object{}
+		for _, o := range p.Objects {
+			byID[o.ID] = o
+		}
+		for _, o := range p.Objects[1:] {
+			parent, ok := byID[o.Parent]
+			if !ok {
+				return false // dangling parent
+			}
+			if parent.Wave != o.Wave-1 {
+				return false // waves must step by one
+			}
+			// Only documents, scripts and stylesheets reveal children.
+			if parent.Kind != KindHTML && parent.Kind != KindJS && parent.Kind != KindCSS {
+				return false
+			}
+			if o.Size <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChildrenConsistentWithParents(t *testing.T) {
+	p := Generate(Table1()[14], sim.NewRNG(3)) // the 323-object site
+	total := 0
+	for _, o := range p.Objects {
+		for _, c := range p.Children(o.ID) {
+			if c.Parent != o.ID {
+				t.Fatalf("child %d claims parent %d, found under %d", c.ID, c.Parent, o.ID)
+			}
+			total++
+		}
+	}
+	if total != len(p.Objects)-1 {
+		t.Fatalf("children sum %d, want %d", total, len(p.Objects)-1)
+	}
+}
+
+func TestScriptHeavySitesRunDeeper(t *testing.T) {
+	light := Generate(Table1()[8], sim.NewRNG(1))  // 5-object shopping page
+	heavy := Generate(Table1()[14], sim.NewRNG(1)) // 73 scripts news page
+	if heavy.MaxWave() <= light.MaxWave() {
+		t.Fatalf("script-heavy page not deeper: %d vs %d", heavy.MaxWave(), light.MaxWave())
+	}
+}
+
+func TestCountKind(t *testing.T) {
+	p := Generate(Table1()[0], sim.NewRNG(5))
+	sum := p.CountKind(KindHTML) + p.CountKind(KindJS) + p.CountKind(KindCSS) +
+		p.CountKind(KindImg) + p.CountKind(KindText)
+	if sum != len(p.Objects) {
+		t.Fatalf("kind counts %d != %d objects", sum, len(p.Objects))
+	}
+	if p.CountKind(KindHTML) < 1 {
+		t.Fatal("no HTML document")
+	}
+}
+
+func TestProcessingDelaysOnlyOnScriptsAndSheets(t *testing.T) {
+	p := Generate(Table1()[13], sim.NewRNG(9))
+	for _, o := range p.Objects {
+		switch o.Kind {
+		case KindImg, KindText:
+			if o.ProcessingDelay != 0 {
+				t.Fatalf("object %d (%s) has processing delay", o.ID, o.Kind)
+			}
+		case KindJS:
+			if o.ProcessingDelay <= 0 {
+				t.Fatalf("script %d has no processing delay", o.ID)
+			}
+		}
+	}
+}
+
+func TestTestPages(t *testing.T) {
+	same := TestPage(true)
+	diff := TestPage(false)
+	for _, p := range []*Page{same, diff} {
+		if len(p.Objects) != 51 {
+			t.Fatalf("%s: %d objects", p.Name, len(p.Objects))
+		}
+		if p.MaxWave() != 1 {
+			t.Fatalf("%s: interdependencies present (wave %d)", p.Name, p.MaxWave())
+		}
+		for _, o := range p.Objects[1:] {
+			if o.Parent != 0 || o.Kind != KindImg || o.Size != 60<<10 {
+				t.Fatalf("%s: object %+v", p.Name, o)
+			}
+		}
+	}
+	if n := len(same.Domains()); n != 1 {
+		t.Fatalf("same-domain page has %d domains", n)
+	}
+	if n := len(diff.Domains()); n != 51 {
+		t.Fatalf("different-domain page has %d domains", n)
+	}
+}
