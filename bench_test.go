@@ -224,6 +224,42 @@ func BenchmarkAblationInitialCwnd(b *testing.B) {
 	}
 }
 
+// --- sweep harness: serial vs parallel vs cached ---
+
+// sweepBench is the condition the runner benchmarks fan out: a full
+// 20-site HTTP session per seed.
+func sweepBench(b *testing.B, parallel int) {
+	b.Helper()
+	h := experiment.Harness{Runs: 4, Seed: 1}
+	base := experiment.Options{Mode: browser.ModeHTTP, Network: experiment.NetWiFi}
+	for i := 0; i < b.N; i++ {
+		// A fresh runner per iteration so the cache cannot mask the
+		// simulation cost being compared.
+		r := experiment.NewRunner(parallel)
+		results := r.Sweep(h, base)
+		b.ReportMetric(float64(len(results)), "runs")
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { sweepBench(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { sweepBench(b, 0) }
+
+// BenchmarkSweepCached measures replaying a memoized sweep: after the
+// first iteration every lookup is a cache hit.
+func BenchmarkSweepCached(b *testing.B) {
+	h := experiment.Harness{Runs: 4, Seed: 1}
+	base := experiment.Options{Mode: browser.ModeHTTP, Network: experiment.NetWiFi}
+	r := experiment.NewRunner(0)
+	r.Sweep(h, base) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Sweep(h, base)
+	}
+	b.StopTimer()
+	s := r.CacheStats()
+	b.ReportMetric(s.HitRate()*100, "hit%")
+}
+
 // --- micro-benchmarks ---
 
 func BenchmarkSPDYFramerDataThroughput(b *testing.B) {

@@ -5,10 +5,18 @@
 //
 //	spdysim -list                 # show available experiments
 //	spdysim -exp fig3             # run one experiment
-//	spdysim -exp all              # run everything (several minutes)
+//	spdysim -exp all              # run everything (parallel + cached)
 //	spdysim -exp fig3 -runs 10    # more seeds per condition
+//	spdysim -exp all -parallel 8  # bound the worker pool explicitly
 //	spdysim -har run.har -mode spdy -network 3g
 //	                              # one full session, exported as HAR
+//
+// Sweeps fan their seeds out across a worker pool (GOMAXPROCS workers by
+// default, -parallel overrides) and memoize each (network, mode, flags,
+// seed) condition, so -exp all computes every condition exactly once even
+// though many experiments sweep the same baselines. Results are
+// bit-for-bit identical to serial runs: each seed is an isolated
+// deterministic simulation and output slices are ordered by seed.
 package main
 
 import (
@@ -24,13 +32,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment ID (or 'all')")
-		runs    = flag.Int("runs", 5, "seeds per condition")
-		seed    = flag.Uint64("seed", 1, "base seed")
-		list    = flag.Bool("list", false, "list experiments")
-		har     = flag.String("har", "", "run one session and write its page loads as a HAR archive to this file")
-		mode    = flag.String("mode", "spdy", "protocol for -har runs: http or spdy")
-		network = flag.String("network", "3g", "access network for -har runs: 3g, lte or wifi")
+		exp      = flag.String("exp", "", "experiment ID (or 'all')")
+		runs     = flag.Int("runs", 5, "seeds per condition")
+		seed     = flag.Uint64("seed", 1, "base seed")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations per sweep (0 = GOMAXPROCS)")
+		cachecap = flag.Int("cachecap", experiment.DefaultCacheCapacity, "max memoized runs held in memory (0 = unbounded)")
+		list     = flag.Bool("list", false, "list experiments")
+		har      = flag.String("har", "", "run one session and write its page loads as a HAR archive to this file")
+		mode     = flag.String("mode", "spdy", "protocol for -har runs: http or spdy")
+		network  = flag.String("network", "3g", "access network for -har runs: 3g, lte or wifi")
 	)
 	flag.Parse()
 
@@ -77,6 +87,8 @@ func main() {
 		return
 	}
 
+	experiment.SetParallelism(*parallel)
+	experiment.DefaultRunner().SetCacheCapacity(*cachecap)
 	h := experiment.Harness{Runs: *runs, Seed: *seed}
 	specs := experiment.All()
 	if *exp != "all" {
@@ -87,10 +99,17 @@ func main() {
 		}
 		specs = []experiment.Spec{s}
 	}
+	wall := time.Now()
 	for _, s := range specs {
 		start := time.Now()
 		rep := s.Run(h)
 		fmt.Println(rep.String())
 		fmt.Printf("(%s completed in %v)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
 	}
+	runner := experiment.DefaultRunner()
+	cs := runner.CacheStats()
+	fmt.Printf("total wall clock: %v over %d experiment(s), %d worker(s)\n",
+		time.Since(wall).Round(time.Millisecond), len(specs), runner.Parallelism())
+	fmt.Printf("sweep cache: %d unique condition(s) simulated, %d replayed from cache (%.0f%% hit rate)\n",
+		cs.Misses, cs.Hits, 100*cs.HitRate())
 }

@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheKey returns the canonical serialization of opts: two Options that
+// produce bit-for-bit identical simulations map to the same key, and any
+// field that changes the simulation changes the key. Defaults are applied
+// first, so a zero field and its explicit default collide as they must.
+//
+// Runs configured through Pages have no canonical key (the pages are
+// arbitrary pointers, not declarative specs) and return ok == false:
+// such runs are never memoized.
+func CacheKey(opts Options) (key string, ok bool) {
+	o := opts.withDefaults()
+	if len(o.Pages) > 0 {
+		return "", false
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "net=%s|mode=%s|seed=%d|think=%d", o.Network, o.Mode, o.Seed, o.ThinkTime)
+	fmt.Fprintf(&b, "|ping=%t,%d,%d", o.PingKeepalive, o.PingInterval, o.PingBytes)
+	fmt.Fprintf(&b, "|ssai_off=%t|rttreset=%t|cc=%s|nomcache=%t",
+		o.SlowStartAfterIdleOff, o.ResetRTTAfterIdle, o.CC, o.NoMetricsCache)
+	fmt.Fprintf(&b, "|sess=%d|latebind=%t|pipe=%t|nobeacons=%t|fastorigin=%t|noundo=%t",
+		o.SPDYSessions, o.SPDYLateBinding, o.Pipelining, o.NoBeacons, o.FastOrigin, o.DisableUndo)
+	fmt.Fprintf(&b, "|sample=%d|sites=", o.SampleEvery)
+	for _, s := range o.Sites {
+		fmt.Fprintf(&b, "[%d,%s,%g,%g,%g,%g,%g,%g]",
+			s.Index, s.Category, s.TotalObjs, s.AvgSizeKB, s.Domains, s.TextObjs, s.JSCSS, s.ImgsOther)
+	}
+	return b.String(), true
+}
+
+// CacheStats counts cache outcomes. A hit is any lookup that reuses a
+// completed or in-flight computation; a miss is a lookup that had to run
+// the simulation itself.
+type CacheStats struct {
+	Hits, Misses uint64
+}
+
+// HitRate is Hits / (Hits + Misses), or 0 with no lookups.
+func (s CacheStats) HitRate() float64 {
+	if n := s.Hits + s.Misses; n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// DefaultCacheCapacity bounds how many Results a runner retains. A full
+// 20-site run keeps its tcp_probe samples and telemetry (~tens of MB),
+// so an unbounded cache would hold gigabytes over `-exp all`; the bound
+// evicts the least-recently-used run while the baseline conditions every
+// experiment re-sweeps stay resident.
+const DefaultCacheCapacity = 64
+
+// resultCache memoizes completed runs by canonical Options key, evicting
+// least-recently-used entries beyond capacity. Safe for concurrent use;
+// concurrent lookups of the same key run the simulation exactly once
+// (the losers block until the winner finishes).
+type resultCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	cap     int    // max retained entries; <= 0 means unbounded
+	tick    uint64 // LRU clock
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+type cacheEntry struct {
+	once    sync.Once
+	res     *Result
+	lastUse uint64 // guarded by resultCache.mu
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{entries: make(map[string]*cacheEntry), cap: capacity}
+}
+
+// getOrRun returns the memoized result for key, computing it with run on
+// the first lookup.
+func (c *resultCache) getOrRun(key string, run func() *Result) *Result {
+	c.mu.Lock()
+	e, hit := c.entries[key]
+	if !hit {
+		if c.cap > 0 && len(c.entries) >= c.cap {
+			c.evictLRU()
+		}
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.tick++
+	e.lastUse = c.tick
+	c.mu.Unlock()
+	if hit {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() { e.res = run() })
+	return e.res
+}
+
+// evictLRU drops the least-recently-used entry. Caller holds mu. An
+// in-flight entry may be evicted; its waiters keep their pointer and
+// finish normally, the result just is not reused.
+func (c *resultCache) evictLRU() {
+	var victim string
+	var oldest uint64
+	for k, e := range c.entries {
+		if victim == "" || e.lastUse < oldest {
+			victim, oldest = k, e.lastUse
+		}
+	}
+	delete(c.entries, victim)
+}
+
+// stats returns a snapshot of the hit/miss counters.
+func (c *resultCache) stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// reset drops all memoized results and zeroes the counters.
+func (c *resultCache) reset() {
+	c.mu.Lock()
+	c.entries = make(map[string]*cacheEntry)
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// len reports the number of memoized (or in-flight) conditions.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

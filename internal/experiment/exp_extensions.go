@@ -34,6 +34,9 @@ func runPipelining(h Harness) *Report {
 		var sum, n float64
 		for _, res := range results {
 			for _, rec := range res.Records {
+				if rec == nil {
+					continue
+				}
 				for _, or := range rec.Objects {
 					if or.Done != 0 {
 						sum += or.Init().Seconds() * 1000

@@ -26,6 +26,9 @@ func runFig5(h Harness) *Report {
 		counts := make(map[int]int)
 		for _, res := range results {
 			for i, rec := range res.Records {
+				if rec == nil {
+					continue
+				}
 				site := res.VisitOrder[i] + 1
 				acc := perSite[site]
 				for _, or := range rec.Objects {
@@ -72,11 +75,11 @@ func runFig6(h Harness) *Report {
 	// Two news sites and two photo/video-heavy sites, as in the paper.
 	sites := []int{7, 15, 12, 18}
 	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
-		res := Run(Options{Mode: mode, Network: Net3G, Seed: h.Seed})
+		res := cachedRun(Options{Mode: mode, Network: Net3G, Seed: h.Seed})
 		r.Printf("-- %s --", mode)
 		for _, site := range sites {
 			for i, rec := range res.Records {
-				if res.VisitOrder[i]+1 != site {
+				if rec == nil || res.VisitOrder[i]+1 != site {
 					continue
 				}
 				// Cumulative requests per 500 ms bucket for the first 10 s.

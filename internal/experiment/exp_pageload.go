@@ -15,9 +15,7 @@ func init() {
 
 // boxPerSite renders per-site box plots for both protocols and counts
 // who wins at the median.
-func boxPerSite(r *Report, network NetworkKind, h Harness) (httpWins, spdyWins, ties int) {
-	httpRes := sweep(h, Options{Mode: browser.ModeHTTP, Network: network})
-	spdyRes := sweep(h, Options{Mode: browser.ModeSPDY, Network: network})
+func boxPerSite(r *Report, httpRes, spdyRes []*Result) (httpWins, spdyWins, ties int) {
 	httpSite := pltBySite(httpRes)
 	spdySite := pltBySite(spdyRes)
 
@@ -56,7 +54,9 @@ func boxPerSite(r *Report, network NetworkKind, h Harness) (httpWins, spdyWins, 
 func runFig3(h Harness) *Report {
 	r := NewReport("fig3", "Page load time, HTTP vs SPDY over 3G",
 		"no convincing winner: SPDY better on some sites (3,7), HTTP on others (1,4), most similar")
-	hw, sw, ties := boxPerSite(r, Net3G, h)
+	httpRes := sweep(h, Options{Mode: browser.ModeHTTP, Network: Net3G})
+	spdyRes := sweep(h, Options{Mode: browser.ModeSPDY, Network: Net3G})
+	hw, sw, ties := boxPerSite(r, httpRes, spdyRes)
 	r.Metric("sites where HTTP wins at median", float64(hw), "sites")
 	r.Metric("sites where SPDY wins at median", float64(sw), "sites")
 	r.Metric("sites with no significant difference", float64(ties), "sites")
@@ -103,7 +103,9 @@ func runFig4(h Harness) *Report {
 func runFig16(h Harness) *Report {
 	r := NewReport("fig16", "Page load time, HTTP vs SPDY over LTE",
 		"both much faster than 3G; HTTP as good as SPDY initially, SPDY better after first pages; retx 8.9 (HTTP) vs 7.52 (SPDY)")
-	hw, sw, ties := boxPerSite(r, NetLTE, h)
+	httpRes := sweep(h, Options{Mode: browser.ModeHTTP, Network: NetLTE})
+	spdyRes := sweep(h, Options{Mode: browser.ModeSPDY, Network: NetLTE})
+	hw, sw, ties := boxPerSite(r, httpRes, spdyRes)
 	r.Metric("sites where HTTP wins at median", float64(hw), "sites")
 	r.Metric("sites where SPDY wins at median", float64(sw), "sites")
 	r.Metric("sites with no significant difference", float64(ties), "sites")
@@ -111,14 +113,16 @@ func runFig16(h Harness) *Report {
 	// The paper notes SPDY pulls ahead after the first few pages once the
 	// session's window has grown; compare mean PLT over the first five
 	// visits to the rest.
-	httpRes := sweep(h, Options{Mode: browser.ModeHTTP, Network: NetLTE})
-	spdyRes := sweep(h, Options{Mode: browser.ModeSPDY, Network: NetLTE})
 	firstLast := func(results []*Result) (first, rest float64) {
 		var f, l []float64
 		for _, res := range results {
 			plts := res.PLTSeconds()
-			f = append(f, plts[:5]...)
-			l = append(l, plts[5:]...)
+			k := 5
+			if k > len(plts) {
+				k = len(plts)
+			}
+			f = append(f, plts[:k]...)
+			l = append(l, plts[k:]...)
 		}
 		return stats.Mean(f), stats.Mean(l)
 	}

@@ -17,7 +17,7 @@ func init() {
 func runFig8(h Harness) *Report {
 	r := NewReport("fig8", "Proxy-side object timing (SPDY)",
 		"origin wait avg 14 ms (max 46 ms), download avg 4 ms; transfer to client delayed significantly — responses queue at the proxy")
-	res := Run(Options{Mode: browser.ModeSPDY, Network: Net3G, Seed: h.Seed, FastOrigin: true})
+	res := cachedRun(Options{Mode: browser.ModeSPDY, Network: Net3G, Seed: h.Seed, FastOrigin: true})
 
 	var wait, dl, queue, transfer []float64
 	for _, pr := range res.Proxy.Records {

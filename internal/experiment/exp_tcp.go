@@ -25,13 +25,16 @@ func init() {
 func runFig10(h Harness) *Report {
 	r := NewReport("fig10", "Bytes in flight vs page load time",
 		"more outstanding bytes ⇒ lower page load time; SPDY's in-flight bytes grow slowly after idle")
-	httpRes := Run(Options{Mode: browser.ModeHTTP, Network: Net3G, Seed: h.Seed})
-	spdyRes := Run(Options{Mode: browser.ModeSPDY, Network: Net3G, Seed: h.Seed})
+	httpRes := cachedRun(Options{Mode: browser.ModeHTTP, Network: Net3G, Seed: h.Seed})
+	spdyRes := cachedRun(Options{Mode: browser.ModeSPDY, Network: Net3G, Seed: h.Seed})
 
 	type pagePoint struct{ inflight, plt float64 }
 	collect := func(res *Result) []pagePoint {
 		var pts []pagePoint
 		for i, rec := range res.Records {
+			if rec == nil {
+				continue
+			}
 			start := float64(i) * 60
 			var sum, n float64
 			for _, s := range res.Samples {
@@ -138,7 +141,7 @@ func cwndTrace(r *Report, rec *tcpsim.Recorder, connID string, from, to float64,
 func runFig11(h Harness) *Report {
 	r := NewReport("fig11", "cwnd/ssthresh/outstanding data over one SPDY 3G run",
 		"cwnd ceilings the outstanding data; cwnd and ssthresh fluctuate all run; bursty retransmissions throughout")
-	res := Run(Options{Mode: browser.ModeSPDY, Network: Net3G, Seed: h.Seed})
+	res := cachedRun(Options{Mode: browser.ModeSPDY, Network: Net3G, Seed: h.Seed})
 	cwndTrace(r, res.Recorder, "spdy00:s", 0, 1200, 30)
 
 	var cwnds []float64
@@ -157,7 +160,7 @@ func runFig11(h Harness) *Report {
 func runFig12(h Harness) *Report {
 	r := NewReport("fig12", "Zoom into three consecutive websites (40–190 s)",
 		"after idle: cwnd reset to 10 (slow start after idle), spurious RTO during promotion, ssthresh collapse, then regrowth; no retx when the idle was too short for the radio to sleep")
-	res := Run(Options{Mode: browser.ModeSPDY, Network: Net3G, Seed: h.Seed})
+	res := cachedRun(Options{Mode: browser.ModeSPDY, Network: Net3G, Seed: h.Seed})
 	cwndTrace(r, res.Recorder, "spdy00:s", 40, 190, 5)
 
 	// Event ledger for the window.
@@ -246,7 +249,7 @@ func runFig13(h Harness) *Report {
 func runFig17(h Harness) *Report {
 	r := NewReport("fig17", "SPDY cwnd and retransmissions over LTE",
 		"retransmissions still occur after idle periods on LTE (promotion 400 ms beats small RTOs), but far less often than 3G")
-	res := Run(Options{Mode: browser.ModeSPDY, Network: NetLTE, Seed: h.Seed})
+	res := cachedRun(Options{Mode: browser.ModeSPDY, Network: NetLTE, Seed: h.Seed})
 	cwndTrace(r, res.Recorder, "spdy00:s", 300, 800, 20)
 	r.Metric("retransmissions/run (LTE SPDY)", float64(res.Recorder.Retransmissions()), "retx")
 

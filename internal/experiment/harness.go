@@ -136,21 +136,33 @@ type Result struct {
 	Samples    []Sample
 	RadioMJ    float64 // radio energy, millijoules
 	Duration   sim.Time
+	// Incomplete counts pages whose load callback never fired before the
+	// hard deadline; their Records entries are nil and every accessor
+	// skips them.
+	Incomplete int
 }
 
 // PLTSeconds returns page load times in seconds, in visit order.
+// Incomplete pages (nil records) are skipped.
 func (r *Result) PLTSeconds() []float64 {
-	out := make([]float64, len(r.Records))
-	for i, rec := range r.Records {
-		out[i] = rec.PLT().Seconds()
+	out := make([]float64, 0, len(r.Records))
+	for _, rec := range r.Records {
+		if rec == nil {
+			continue
+		}
+		out = append(out, rec.PLT().Seconds())
 	}
 	return out
 }
 
 // PLTBySite maps Table 1 site index (1-based) to PLT seconds.
+// Incomplete pages (nil records) are skipped.
 func (r *Result) PLTBySite() map[int]float64 {
 	out := make(map[int]float64)
 	for i, rec := range r.Records {
+		if rec == nil {
+			continue
+		}
 		site := r.VisitOrder[i] + 1
 		out[site] = rec.PLT().Seconds()
 	}
@@ -303,7 +315,33 @@ func Run(opts Options) *Result {
 	loop.After(opts.SampleEvery, sampler)
 
 	loop.Run(end)
+
+	// With a short ThinkTime the nominal end can arrive before the last
+	// pages finish, leaving nil records. Every load is guaranteed a
+	// callback by the browser's page watchdog, so keep the loop running
+	// until all callbacks have fired, capped at the instant the last
+	// possible watchdog fires.
+	incomplete := func() bool {
+		for _, rec := range records {
+			if rec == nil {
+				return true
+			}
+		}
+		return false
+	}
+	if incomplete() {
+		lastStart := sim.Time(len(order)-1) * sim.Time(opts.ThinkTime)
+		hardCap := lastStart + sim.Time(bcfg.PageTimeout) + sim.Second
+		if hardCap > end {
+			loop.Run(hardCap)
+		}
+	}
 	res.Records = records
+	for _, rec := range records {
+		if rec == nil {
+			res.Incomplete++
+		}
+	}
 	res.Duration = loop.Now()
 	if radio != nil {
 		res.RadioMJ = radio.EnergyMilliJoules()

@@ -26,10 +26,13 @@ func NewReport(id, title, paper string) *Report {
 	return &Report{ID: id, Title: title, Paper: paper, Metrics: make(map[string]float64)}
 }
 
-// Printf appends a formatted line to the report body.
+// Printf appends a formatted line to the report body. The rendered
+// string decides whether a newline is added (a bare format check would
+// double-blank-line when a %s argument ends in \n).
 func (r *Report) Printf(format string, args ...any) {
-	fmt.Fprintf(&r.buf, format, args...)
-	if !strings.HasSuffix(format, "\n") {
+	s := fmt.Sprintf(format, args...)
+	r.buf.WriteString(s)
+	if !strings.HasSuffix(s, "\n") {
 		r.buf.WriteByte('\n')
 	}
 }
@@ -101,17 +104,6 @@ func IDs() []string {
 		out = append(out, s.ID)
 	}
 	sort.Strings(out)
-	return out
-}
-
-// sweep runs one condition across h.Runs seeds.
-func sweep(h Harness, base Options) []*Result {
-	out := make([]*Result, h.Runs)
-	for i := 0; i < h.Runs; i++ {
-		opts := base
-		opts.Seed = h.Seed + uint64(i)
-		out[i] = Run(opts)
-	}
 	return out
 }
 

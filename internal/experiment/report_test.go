@@ -8,7 +8,8 @@ import (
 func TestReportRendering(t *testing.T) {
 	r := NewReport("figX", "A title", "the paper said so")
 	r.Printf("line %d", 1)
-	r.Printf("line 2\n") // trailing newline must not double
+	r.Printf("line 2\n")       // trailing newline must not double
+	r.Printf("%s", "line 3\n") // newline via argument must not double either
 	r.Metric("some metric", 3.14159, "s")
 	out := r.String()
 	if !strings.HasPrefix(out, "== figX: A title ==\n") {
@@ -19,6 +20,9 @@ func TestReportRendering(t *testing.T) {
 	}
 	if strings.Contains(out, "line 2\n\n") {
 		t.Fatal("doubled newline")
+	}
+	if strings.Contains(out, "line 3\n\n") {
+		t.Fatal("doubled newline when the format argument ends in \\n")
 	}
 	if r.Metrics["some metric"] != 3.14159 {
 		t.Fatal("metric not recorded")

@@ -1,0 +1,131 @@
+// Concurrent, memoizing experiment runner. Every Run is an isolated
+// deterministic simulation (its own event loop, RNG, network and
+// browser), so seeds of a sweep can execute on separate goroutines and
+// identical (network, mode, flags, seed) conditions can be computed once
+// and replayed from cache — `spdysim -exp all` re-sweeps the same base
+// conditions dozens of times across the ~20 registered experiments.
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Runner executes runs and sweeps through a bounded worker pool and a
+// memoizing result cache. The zero value is not usable; call NewRunner.
+// A Runner is safe for concurrent use.
+type Runner struct {
+	parallel int
+	cache    *resultCache
+	sem      chan struct{}
+}
+
+// NewRunner returns a Runner executing at most parallel simulations at
+// once; parallel <= 0 selects GOMAXPROCS.
+func NewRunner(parallel int) *Runner {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		parallel: parallel,
+		cache:    newResultCache(DefaultCacheCapacity),
+		sem:      make(chan struct{}, parallel),
+	}
+}
+
+// SetCacheCapacity bounds how many Results the runner retains
+// (n <= 0 means unbounded). Shrinking does not evict until the next
+// insertion.
+func (r *Runner) SetCacheCapacity(n int) {
+	r.cache.mu.Lock()
+	r.cache.cap = n
+	r.cache.mu.Unlock()
+}
+
+// Parallelism reports the worker-pool bound.
+func (r *Runner) Parallelism() int { return r.parallel }
+
+// CacheStats snapshots the cache hit/miss counters.
+func (r *Runner) CacheStats() CacheStats { return r.cache.stats() }
+
+// CachedConditions reports how many distinct conditions are memoized.
+func (r *Runner) CachedConditions() int { return r.cache.len() }
+
+// ResetCache drops all memoized results and zeroes the counters.
+func (r *Runner) ResetCache() { r.cache.reset() }
+
+// Run executes (or replays from cache) one measurement run. Results are
+// memoized by CacheKey, so callers must treat them as immutable; runs
+// without a canonical key (explicit Pages) always simulate.
+func (r *Runner) Run(opts Options) *Result {
+	key, ok := CacheKey(opts)
+	if !ok {
+		return Run(opts)
+	}
+	return r.cache.getOrRun(key, func() *Result { return Run(opts) })
+}
+
+// Sweep runs one condition across h.Runs seeds, fanning the seeds out
+// over the worker pool. The returned slice is ordered by seed (index i
+// holds seed h.Seed+i), so output is bit-for-bit identical to a serial
+// sweep regardless of parallelism.
+func (r *Runner) Sweep(h Harness, base Options) []*Result {
+	out := make([]*Result, h.Runs)
+	if h.Runs <= 1 || r.parallel <= 1 {
+		for i := range out {
+			opts := base
+			opts.Seed = h.Seed + uint64(i)
+			out[i] = r.Run(opts)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for i := range out {
+		opts := base
+		opts.Seed = h.Seed + uint64(i)
+		wg.Add(1)
+		go func(i int, opts Options) {
+			defer wg.Done()
+			r.sem <- struct{}{}
+			defer func() { <-r.sem }()
+			out[i] = r.Run(opts)
+		}(i, opts)
+	}
+	wg.Wait()
+	return out
+}
+
+// defaultRunner backs the package-level sweep()/cachedRun() helpers the
+// registered experiments use; one shared cache means `spdysim -exp all`
+// computes each condition exactly once across all experiments.
+var (
+	defaultRunnerMu sync.Mutex
+	defaultRunner   = NewRunner(0)
+)
+
+// SetParallelism replaces the shared runner's worker-pool bound
+// (n <= 0 selects GOMAXPROCS). The shared cache is kept.
+func SetParallelism(n int) {
+	defaultRunnerMu.Lock()
+	defer defaultRunnerMu.Unlock()
+	old := defaultRunner
+	defaultRunner = NewRunner(n)
+	defaultRunner.cache = old.cache
+}
+
+// DefaultRunner returns the shared runner.
+func DefaultRunner() *Runner {
+	defaultRunnerMu.Lock()
+	defer defaultRunnerMu.Unlock()
+	return defaultRunner
+}
+
+// sweep runs one condition across h.Runs seeds on the shared runner.
+func sweep(h Harness, base Options) []*Result {
+	return DefaultRunner().Sweep(h, base)
+}
+
+// cachedRun executes one memoized run on the shared runner.
+func cachedRun(opts Options) *Result {
+	return DefaultRunner().Run(opts)
+}

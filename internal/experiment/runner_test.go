@@ -1,0 +1,272 @@
+package experiment
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"spdier/internal/browser"
+	"spdier/internal/webpage"
+)
+
+func TestCacheKeyCanonicalization(t *testing.T) {
+	// Zero-valued fields and their explicit defaults must collide.
+	base := Options{Mode: browser.ModeHTTP, Network: Net3G, Seed: 7}
+	explicit := Options{
+		Mode:         browser.ModeHTTP,
+		Network:      Net3G,
+		Seed:         7,
+		Sites:        webpage.Table1(),
+		ThinkTime:    60 * time.Second,
+		PingInterval: 2 * time.Second,
+		PingBytes:    600,
+		CC:           "cubic",
+		SPDYSessions: 1,
+		SampleEvery:  500 * time.Millisecond,
+	}
+	bk, ok := CacheKey(base)
+	if !ok {
+		t.Fatal("base options not cacheable")
+	}
+	ek, ok := CacheKey(explicit)
+	if !ok {
+		t.Fatal("explicit options not cacheable")
+	}
+	if bk != ek {
+		t.Fatalf("defaulted and explicit options disagree:\n%s\n%s", bk, ek)
+	}
+
+	// Every simulation-relevant field must change the key.
+	variants := map[string]Options{
+		"mode":       {Mode: browser.ModeSPDY, Network: Net3G, Seed: 7},
+		"network":    {Mode: browser.ModeHTTP, Network: NetLTE, Seed: 7},
+		"seed":       {Mode: browser.ModeHTTP, Network: Net3G, Seed: 8},
+		"sites":      {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, Sites: webpage.Table1()[:5]},
+		"think":      {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, ThinkTime: 30 * time.Second},
+		"ping":       {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, PingKeepalive: true},
+		"pingiv":     {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, PingInterval: 5 * time.Second},
+		"pingbytes":  {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, PingBytes: 900},
+		"ssai":       {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, SlowStartAfterIdleOff: true},
+		"rttreset":   {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, ResetRTTAfterIdle: true},
+		"cc":         {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, CC: "reno"},
+		"nomcache":   {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, NoMetricsCache: true},
+		"sessions":   {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, SPDYSessions: 8},
+		"latebind":   {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, SPDYSessions: 8, SPDYLateBinding: true},
+		"pipelining": {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, Pipelining: true},
+		"nobeacons":  {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, NoBeacons: true},
+		"fastorigin": {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, FastOrigin: true},
+		"noundo":     {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, DisableUndo: true},
+		"sample":     {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, SampleEvery: time.Second},
+	}
+	seen := map[string]string{bk: "base"}
+	for name, opts := range variants {
+		k, ok := CacheKey(opts)
+		if !ok {
+			t.Fatalf("%s: not cacheable", name)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %q collides with %q: %s", name, prev, k)
+		}
+		seen[k] = name
+	}
+
+	// Explicit Pages cannot be canonicalized and must not be memoized.
+	if _, ok := CacheKey(Options{Pages: []*webpage.Page{webpage.TestPage(true)}}); ok {
+		t.Fatal("Pages-based options must not be cacheable")
+	}
+}
+
+func TestRunnerDoesNotMemoizePagesRuns(t *testing.T) {
+	r := NewRunner(1)
+	opts := Options{
+		Mode:    browser.ModeHTTP,
+		Network: NetWiFi,
+		Seed:    1,
+		Pages:   []*webpage.Page{webpage.TestPage(true)},
+	}
+	a := r.Run(opts)
+	b := r.Run(opts)
+	if a == b {
+		t.Fatal("Pages-based runs were memoized")
+	}
+	if s := r.CacheStats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("Pages-based runs touched the cache: %+v", s)
+	}
+}
+
+// TestParallelSweepMatchesSerial is the determinism contract: fanning
+// seeds across goroutines must be bit-for-bit identical to the serial
+// sweep.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	h := Harness{Runs: 4, Seed: 11}
+	base := Options{Mode: browser.ModeSPDY, Network: NetWiFi, Sites: webpage.Table1()[:8]}
+	serial := NewRunner(1).Sweep(h, base)
+	par := NewRunner(4).Sweep(h, base)
+	if len(serial) != len(par) {
+		t.Fatalf("length %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i].Opts.Seed != par[i].Opts.Seed {
+			t.Fatalf("run %d: seed %d vs %d (ordering broken)", i, serial[i].Opts.Seed, par[i].Opts.Seed)
+		}
+		sp, pp := serial[i].PLTSeconds(), par[i].PLTSeconds()
+		if len(sp) != len(pp) {
+			t.Fatalf("run %d: %d vs %d pages", i, len(sp), len(pp))
+		}
+		for j := range sp {
+			if sp[j] != pp[j] {
+				t.Fatalf("run %d page %d: PLT %v vs %v", i, j, sp[j], pp[j])
+			}
+		}
+		if serial[i].Retransmissions() != par[i].Retransmissions() {
+			t.Fatalf("run %d: retx %d vs %d", i, serial[i].Retransmissions(), par[i].Retransmissions())
+		}
+		if len(serial[i].Samples) != len(par[i].Samples) {
+			t.Fatalf("run %d: %d vs %d samples", i, len(serial[i].Samples), len(par[i].Samples))
+		}
+		if serial[i].Duration != par[i].Duration {
+			t.Fatalf("run %d: duration %v vs %v", i, serial[i].Duration, par[i].Duration)
+		}
+	}
+}
+
+func TestSweepMemoizesAcrossCalls(t *testing.T) {
+	r := NewRunner(2)
+	h := Harness{Runs: 3, Seed: 1}
+	base := Options{Mode: browser.ModeHTTP, Network: NetWiFi, Sites: webpage.Table1()[:4]}
+	first := r.Sweep(h, base)
+	if s := r.CacheStats(); s.Misses != 3 || s.Hits != 0 {
+		t.Fatalf("first sweep: %+v", s)
+	}
+	second := r.Sweep(h, base)
+	if s := r.CacheStats(); s.Misses != 3 || s.Hits != 3 {
+		t.Fatalf("second sweep: %+v", s)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("run %d: cache returned a different result instance", i)
+		}
+	}
+	if n := r.CachedConditions(); n != 3 {
+		t.Fatalf("%d conditions cached, want 3", n)
+	}
+	r.ResetCache()
+	if n := r.CachedConditions(); n != 0 {
+		t.Fatalf("%d conditions cached after reset", n)
+	}
+	if s := r.CacheStats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+}
+
+// TestCacheEvictsLRUBeyondCapacity bounds resident memory: the least
+// recently used run is dropped once the capacity is exceeded.
+func TestCacheEvictsLRUBeyondCapacity(t *testing.T) {
+	r := NewRunner(1)
+	r.SetCacheCapacity(2)
+	sites := webpage.Table1()[:2]
+	optA := Options{Mode: browser.ModeHTTP, Network: NetWiFi, Seed: 1, Sites: sites}
+	optB := Options{Mode: browser.ModeHTTP, Network: NetWiFi, Seed: 2, Sites: sites}
+	optC := Options{Mode: browser.ModeHTTP, Network: NetWiFi, Seed: 3, Sites: sites}
+	a := r.Run(optA)
+	r.Run(optB)
+	r.Run(optA) // A most recently used
+	r.Run(optC) // evicts B
+	if n := r.CachedConditions(); n != 2 {
+		t.Fatalf("%d conditions cached, want 2", n)
+	}
+	if got := r.Run(optA); got != a {
+		t.Fatal("recently-used A was evicted")
+	}
+	before := r.CacheStats()
+	r.Run(optB) // must re-simulate
+	after := r.CacheStats()
+	if after.Misses != before.Misses+1 {
+		t.Fatalf("evicted B served from cache (misses %d -> %d)", before.Misses, after.Misses)
+	}
+}
+
+// TestConcurrentIdenticalRunsComputeOnce checks the singleflight
+// property: simultaneous lookups of one condition simulate it once.
+func TestConcurrentIdenticalRunsComputeOnce(t *testing.T) {
+	r := NewRunner(4)
+	opts := Options{Mode: browser.ModeHTTP, Network: NetWiFi, Seed: 3, Sites: webpage.Table1()[:4]}
+	results := make([]*Result, 8)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = r.Run(opts)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d got a different result instance", i)
+		}
+	}
+	if s := r.CacheStats(); s.Misses != 1 {
+		t.Fatalf("condition simulated %d times, want 1 (%+v)", s.Misses, s)
+	}
+}
+
+// TestRunShortThinkTimeCompletesAllRecords is the regression test for
+// the nil-record crash: with a short ThinkTime the nominal end of the
+// session arrives before the later pages finish loading, and Run used to
+// leave records[i] == nil, nil-dereferencing in PLTSeconds. The loop now
+// runs until every page callback fires (bounded by the page watchdog).
+func TestRunShortThinkTimeCompletesAllRecords(t *testing.T) {
+	res := Run(Options{
+		Mode:      browser.ModeHTTP,
+		Network:   Net3G,
+		Seed:      2,
+		Sites:     webpage.Table1()[:3],
+		ThinkTime: 2 * time.Second,
+	})
+	if len(res.Records) != 3 {
+		t.Fatalf("%d records, want 3", len(res.Records))
+	}
+	complete := 0
+	for _, rec := range res.Records {
+		if rec != nil {
+			complete++
+		}
+	}
+	if complete+res.Incomplete != len(res.Records) {
+		t.Fatalf("complete %d + incomplete %d != %d", complete, res.Incomplete, len(res.Records))
+	}
+	// The watchdog guarantees every callback eventually fires within the
+	// hard cap, so nothing should be left incomplete.
+	if res.Incomplete != 0 {
+		t.Errorf("%d pages incomplete despite watchdog", res.Incomplete)
+	}
+	plts := res.PLTSeconds() // must not panic
+	if len(plts) != complete {
+		t.Fatalf("%d PLTs for %d complete pages", len(plts), complete)
+	}
+	for i, p := range plts {
+		if p <= 0 {
+			t.Errorf("page %d: non-positive PLT %v", i, p)
+		}
+	}
+	if len(res.PLTBySite()) != complete {
+		t.Fatalf("PLTBySite covered %d pages, want %d", len(res.PLTBySite()), complete)
+	}
+}
+
+// TestSweepSharedRunnerParallelism sanity-checks the package-level
+// helpers the experiments use.
+func TestSweepSharedRunnerParallelism(t *testing.T) {
+	if DefaultRunner().Parallelism() < 1 {
+		t.Fatal("shared runner has no workers")
+	}
+	SetParallelism(2)
+	if got := DefaultRunner().Parallelism(); got != 2 {
+		t.Fatalf("parallelism %d after SetParallelism(2)", got)
+	}
+	SetParallelism(0) // back to GOMAXPROCS
+	if DefaultRunner().Parallelism() < 1 {
+		t.Fatal("shared runner lost its workers")
+	}
+}

@@ -53,6 +53,11 @@ func Quantile(xs []float64, q float64) float64 {
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// quantileSorted is Quantile over an already-sorted non-empty slice.
+func quantileSorted(s []float64, q float64) float64 {
 	if q <= 0 {
 		return s[0]
 	}
@@ -78,19 +83,22 @@ type BoxPlot struct {
 	N                              int
 }
 
-// Box computes the summary of xs.
+// Box computes the summary of xs, copying and sorting the input once
+// rather than once per quantile.
 func Box(xs []float64) BoxPlot {
 	if len(xs) == 0 {
 		return BoxPlot{}
 	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
 	return BoxPlot{
-		Min:    Quantile(xs, 0),
-		Q1:     Quantile(xs, 0.25),
-		Median: Quantile(xs, 0.5),
-		Q3:     Quantile(xs, 0.75),
-		Max:    Quantile(xs, 1),
-		Mean:   Mean(xs),
-		N:      len(xs),
+		Min:    s[0],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   Mean(xs), // original order: bit-identical to the pre-sort behavior
+		N:      len(s),
 	}
 }
 
@@ -119,7 +127,12 @@ func (c *CDF) At(x float64) float64 {
 }
 
 // Inverse returns the p-quantile of the distribution.
-func (c *CDF) Inverse(p float64) float64 { return Quantile(c.sorted, p) }
+func (c *CDF) Inverse(p float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return quantileSorted(c.sorted, p)
+}
 
 // Len reports the sample count.
 func (c *CDF) Len() int { return len(c.sorted) }

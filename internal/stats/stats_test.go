@@ -95,6 +95,39 @@ func TestBoxSummary(t *testing.T) {
 	}
 }
 
+// TestBoxMatchesQuantiles pins the single-sort Box to the reference
+// per-quantile computation, on unsorted input, without mutating it.
+func TestBoxMatchesQuantiles(t *testing.T) {
+	check := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		orig := append([]float64(nil), xs...)
+		b := Box(xs)
+		for i := range xs {
+			if xs[i] != orig[i] {
+				return false // input mutated
+			}
+		}
+		if len(xs) == 0 {
+			return b == BoxPlot{}
+		}
+		return b.Min == Quantile(xs, 0) &&
+			b.Q1 == Quantile(xs, 0.25) &&
+			b.Median == Quantile(xs, 0.5) &&
+			b.Q3 == Quantile(xs, 0.75) &&
+			b.Max == Quantile(xs, 1) &&
+			b.Mean == Mean(xs) &&
+			b.N == len(xs)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCDF(t *testing.T) {
 	c := NewCDF([]float64{1, 2, 2, 3, 10})
 	if c.At(0) != 0 {
