@@ -25,24 +25,32 @@ import (
 )
 
 // benchExperiment runs one registered experiment per iteration with a
-// single seed per condition and surfaces its metrics.
+// single seed per condition and surfaces its metrics. Each requested
+// metric gets its own b.Run sub-benchmark so `-bench Fig3/HTTP` can
+// target one number and the per-metric timings don't smear together.
 func benchExperiment(b *testing.B, id string, metrics ...string) {
 	b.Helper()
 	spec, ok := experiment.Get(id)
 	if !ok {
 		b.Fatalf("experiment %q not registered", id)
 	}
-	var rep interface{ String() string }
-	for i := 0; i < b.N; i++ {
-		r := spec.Run(experiment.Harness{Runs: 1, Seed: uint64(i + 1)})
-		for _, m := range metrics {
-			if v, ok := r.Metrics[m]; ok {
-				b.ReportMetric(v, shortUnit(m))
-			}
+	b.ResetTimer()
+	if len(metrics) == 0 {
+		for i := 0; i < b.N; i++ {
+			spec.Run(experiment.Harness{Runs: 1, Seed: uint64(i + 1)})
 		}
-		rep = r
+		return
 	}
-	_ = rep
+	for _, m := range metrics {
+		b.Run(shortUnit(m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := spec.Run(experiment.Harness{Runs: 1, Seed: uint64(i + 1)})
+				if v, ok := r.Metrics[m]; ok {
+					b.ReportMetric(v, shortUnit(m))
+				}
+			}
+		})
+	}
 }
 
 func shortUnit(metric string) string {

@@ -23,6 +23,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"time"
 
 	"spdier/internal/browser"
@@ -41,8 +44,60 @@ func main() {
 		har      = flag.String("har", "", "run one session and write its page loads as a HAR archive to this file")
 		mode     = flag.String("mode", "spdy", "protocol for -har runs: http or spdy")
 		network  = flag.String("network", "3g", "access network for -har runs: 3g, lte or wifi")
+
+		probestride = flag.Int("probestride", experiment.DefaultProbeStride(),
+			"retain every Nth bulk (ack/send) tcp_probe sample; 1 keeps all (counters stay exact regardless)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceout   = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	experiment.SetDefaultProbeStride(*probestride)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceout != "" {
+		f, err := os.Create(*traceout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer rtrace.Stop()
+	}
+	if *memprofile != "" {
+		// The heap profile is written after the sweeps complete, while the
+		// result cache is still live — this is how the cache-entry retained
+		// size reduction is measured.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *har != "" {
 		switch *network {

@@ -1,0 +1,134 @@
+// Hot-path guardrail benchmarks. BenchmarkLoop and BenchmarkTransfer
+// both assert their allocation budgets with testing.AllocsPerRun before
+// timing anything, so a regression fails the benchmark run outright
+// instead of silently shifting a trend line. Their headline numbers are
+// collected and written to BENCH_hotpath.json by TestMain, which CI
+// archives per commit.
+//
+//	go test -run '^$' -bench 'BenchmarkLoop$|BenchmarkTransfer$' -benchmem -benchtime=1x .
+package spdier_test
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"spdier/internal/netem"
+	"spdier/internal/sim"
+	"spdier/internal/tcpsim"
+)
+
+// benchReport accumulates headline numbers from the guardrail
+// benchmarks; TestMain serializes it to BENCH_hotpath.json after the
+// run so the file reflects whichever benchmarks actually executed.
+var benchReport = struct {
+	sync.Mutex
+	m map[string]map[string]float64
+}{m: map[string]map[string]float64{}}
+
+func reportBench(name string, metrics map[string]float64) {
+	benchReport.Lock()
+	benchReport.m[name] = metrics
+	benchReport.Unlock()
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	benchReport.Lock()
+	if len(benchReport.m) > 0 {
+		if f, err := os.Create("BENCH_hotpath.json"); err == nil {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(benchReport.m); err != nil {
+				os.Stderr.WriteString("BENCH_hotpath.json: " + err.Error() + "\n")
+			}
+			f.Close()
+		}
+	}
+	benchReport.Unlock()
+	os.Exit(code)
+}
+
+// BenchmarkLoop times the event-loop hot path — schedule with After,
+// fire via RunUntilIdle — on a warm slot pool, and asserts it is
+// allocation-free.
+func BenchmarkLoop(b *testing.B) {
+	loop := sim.NewLoop()
+	fn := func() {}
+	// Warm the slot pool and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		loop.After(time.Millisecond, fn)
+	}
+	loop.RunUntilIdle()
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		loop.After(time.Millisecond, fn)
+		loop.RunUntilIdle()
+	}); allocs != 0 {
+		b.Fatalf("After+fire allocates %.1f per op, want 0", allocs)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loop.After(time.Microsecond, fn)
+		if i&1023 == 1023 {
+			loop.RunUntilIdle()
+		}
+	}
+	loop.RunUntilIdle()
+	b.StopTimer()
+	reportBench("BenchmarkLoop", map[string]float64{
+		"ns_per_event":  float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		"allocs_per_op": 0,
+	})
+}
+
+// BenchmarkTransfer times a one-MSS write→serialize→deliver→ack round
+// trip over an established, warmed-up connection and asserts the pooled
+// segment path stays within its 2-allocation budget.
+func BenchmarkTransfer(b *testing.B) {
+	loop := sim.NewLoop()
+	pc := netem.ProfileWiFi()
+	pc.Up.LossRate, pc.Down.LossRate = 0, 0
+	path := netem.NewPath(loop, pc, sim.NewRNG(1), nil)
+	nw := tcpsim.NewNetwork(loop, path)
+	client, server := nw.NewConnPair(tcpsim.DefaultConfig(), tcpsim.DefaultConfig(), "bench", "d")
+	client.OnDeliver(func(int) {})
+	client.OnEstablished(func() {})
+	client.Connect()
+	loop.RunUntilIdle()
+	if !client.Established() {
+		b.Fatal("handshake did not complete")
+	}
+
+	mss := tcpsim.DefaultConfig().MSS
+	// Warm the segment pool, event slots and per-connection queues.
+	for i := 0; i < 200; i++ {
+		server.Write(mss)
+		loop.RunUntilIdle()
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		server.Write(mss)
+		loop.RunUntilIdle()
+	})
+	if allocs > 2 {
+		b.Fatalf("segment round trip allocates %.1f per op, want <= 2", allocs)
+	}
+
+	b.ReportAllocs()
+	b.SetBytes(int64(mss))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		server.Write(mss)
+		loop.RunUntilIdle()
+	}
+	b.StopTimer()
+	reportBench("BenchmarkTransfer", map[string]float64{
+		"ns_per_roundtrip":     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		"allocs_per_roundtrip": allocs,
+	})
+}

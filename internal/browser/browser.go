@@ -106,7 +106,7 @@ type Browser struct {
 	// HTTP state. poolOrder keeps deterministic pump order (map
 	// iteration order would make runs unreproducible).
 	pools      map[string]*domainPool
-	poolOrder  []string
+	poolOrder  []*domainPool
 	totalConns int
 	connSeq    int
 
@@ -165,7 +165,7 @@ type pageLoad struct {
 	pendingReveals int
 	finished       bool
 	done           func(*trace.PageRecord)
-	watchdog       *sim.Timer
+	watchdog       sim.Timer
 }
 
 // LoadPage begins loading page; done fires at onLoad (or watchdog abort).
@@ -286,7 +286,7 @@ type connHandle struct {
 	established bool
 	outstanding int // requests awaiting their response
 	closed      bool
-	idleTimer   *sim.Timer
+	idleTimer   sim.Timer
 }
 
 func (b *Browser) pool(domain string) *domainPool {
@@ -294,7 +294,7 @@ func (b *Browser) pool(domain string) *domainPool {
 	if !ok {
 		p = &domainPool{domain: domain}
 		b.pools[domain] = p
-		b.poolOrder = append(b.poolOrder, domain)
+		b.poolOrder = append(b.poolOrder, p)
 	}
 	return p
 }
@@ -303,8 +303,8 @@ func (b *Browser) pool(domain string) *domainPool {
 // whenever a global connection slot frees up: the unblocked request may
 // live in any domain's queue.
 func (b *Browser) pumpAll() {
-	for _, d := range b.poolOrder {
-		b.pumpPool(b.pools[d])
+	for _, p := range b.poolOrder {
+		b.pumpPool(p)
 	}
 }
 
@@ -351,8 +351,7 @@ func (b *Browser) pumpPool(p *domainPool) {
 // pool with no queued work, freeing a global slot. Returns false if no
 // connection is reclaimable.
 func (b *Browser) reclaimIdleConn(needy *domainPool) bool {
-	for _, d := range b.poolOrder {
-		p := b.pools[d]
+	for _, p := range b.poolOrder {
 		if p == needy || len(p.waiting) > 0 {
 			continue
 		}
@@ -410,9 +409,7 @@ func (b *Browser) openConn(p *domainPool) {
 
 func (b *Browser) dispatch(p *domainPool, h *connHandle, req *pendingReq) {
 	h.outstanding++
-	if h.idleTimer != nil {
-		h.idleTimer.Stop()
-	}
+	h.idleTimer.Stop()
 	req.or.Requested = b.loop.Now()
 	req.or.ConnID = h.id
 	reqSize := proxy.HTTPReqSize(req.obj)
@@ -433,9 +430,7 @@ func (b *Browser) dispatch(p *domainPool, h *connHandle, req *pendingReq) {
 }
 
 func (b *Browser) armIdle(p *domainPool, h *connHandle) {
-	if h.idleTimer != nil {
-		h.idleTimer.Stop()
-	}
+	h.idleTimer.Stop()
 	h.idleTimer = b.loop.After(b.cfg.IdleConnTimeout, func() {
 		if h.outstanding > 0 || h.closed {
 			return

@@ -27,7 +27,7 @@ func CacheKey(opts Options) (key string, ok bool) {
 		o.SlowStartAfterIdleOff, o.ResetRTTAfterIdle, o.CC, o.NoMetricsCache)
 	fmt.Fprintf(&b, "|sess=%d|latebind=%t|pipe=%t|nobeacons=%t|fastorigin=%t|noundo=%t",
 		o.SPDYSessions, o.SPDYLateBinding, o.Pipelining, o.NoBeacons, o.FastOrigin, o.DisableUndo)
-	fmt.Fprintf(&b, "|sample=%d|sites=", o.SampleEvery)
+	fmt.Fprintf(&b, "|sample=%d|pstride=%d|sites=", o.SampleEvery, o.ProbeStride)
 	for _, s := range o.Sites {
 		fmt.Fprintf(&b, "[%d,%s,%g,%g,%g,%g,%g,%g]",
 			s.Index, s.Category, s.TotalObjs, s.AvgSizeKB, s.Domains, s.TextObjs, s.JSCSS, s.ImgsOther)
@@ -51,11 +51,11 @@ func (s CacheStats) HitRate() float64 {
 }
 
 // DefaultCacheCapacity bounds how many Results a runner retains. A full
-// 20-site run keeps its tcp_probe samples and telemetry (~tens of MB),
-// so an unbounded cache would hold gigabytes over `-exp all`; the bound
-// evicts the least-recently-used run while the baseline conditions every
-// experiment re-sweeps stay resident.
-const DefaultCacheCapacity = 64
+// 20-site run used to keep ~16 MB of boxed tcp_probe samples; the
+// columnar, stride-downsampled recorder holds the same run in ~2 MB, so
+// the bound rises accordingly. The LRU still evicts beyond capacity while
+// the baseline conditions every experiment re-sweeps stay resident.
+const DefaultCacheCapacity = 256
 
 // resultCache memoizes completed runs by canonical Options key, evicting
 // least-recently-used entries beyond capacity. Safe for concurrent use;

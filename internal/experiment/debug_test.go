@@ -62,8 +62,8 @@ func TestDebugCalibration(t *testing.T) {
 		t.Logf("  down: sent=%d delivered=%d dropQueue=%d dropLoss=%d",
 			down.Sent, down.Delivered, down.DroppedQueue, down.DroppedLoss)
 		t.Logf("  retx=%d fast=%d idleRestarts=%d spurious=%d",
-			res.Recorder.Counts[tcpsim.EvRetransmit], res.Recorder.Counts[tcpsim.EvFastRetx],
-			res.Recorder.Counts[tcpsim.EvIdleRestart], res.Recorder.Counts[tcpsim.EvSpurious])
+			res.Recorder.Count(tcpsim.EvRetransmit), res.Recorder.Count(tcpsim.EvFastRetx),
+			res.Recorder.Count(tcpsim.EvIdleRestart), res.Recorder.Count(tcpsim.EvSpurious))
 		for i, rec := range res.Records {
 			if rec.Aborted {
 				t.Logf("  aborted page %d: %s objs=%d", i, rec.Page.Name, len(rec.Objects))

@@ -108,16 +108,16 @@ func cwndTrace(r *Report, rec *tcpsim.Recorder, connID string, from, to float64,
 	var cw, ss float64
 	var infl int
 	events := ""
-	for _, s := range rec.Samples {
+	rec.Each(func(s tcpsim.ProbeSample) bool {
 		if s.ConnID != connID {
-			continue
+			return true
 		}
 		t := s.At.Seconds()
 		if t < from {
-			continue
+			return true
 		}
 		if t > to {
-			break
+			return false
 		}
 		for t >= next {
 			r.Printf("%-8.0f %8.1f %9.1f %10.1f %8s", next, cw, ss, float64(infl)/1024, events)
@@ -135,7 +135,8 @@ func cwndTrace(r *Report, rec *tcpsim.Recorder, connID string, from, to float64,
 		case tcpsim.EvUndo:
 			events += "U"
 		}
-	}
+		return true
+	})
 }
 
 func runFig11(h Harness) *Report {
@@ -145,11 +146,12 @@ func runFig11(h Harness) *Report {
 	cwndTrace(r, res.Recorder, "spdy00:s", 0, 1200, 30)
 
 	var cwnds []float64
-	for _, s := range res.Recorder.Samples {
+	res.Recorder.Each(func(s tcpsim.ProbeSample) bool {
 		if s.ConnID == "spdy00:s" {
 			cwnds = append(cwnds, s.Cwnd)
 		}
-	}
+		return true
+	})
 	r.Metric("retransmission events", float64(res.Recorder.Retransmissions()), "retx")
 	r.Metric("cwnd mean", stats.Mean(cwnds), "segments")
 	r.Metric("cwnd stddev (fluctuation)", stats.StdDev(cwnds), "segments")
@@ -165,16 +167,17 @@ func runFig12(h Harness) *Report {
 
 	// Event ledger for the window.
 	counts := map[tcpsim.ProbeEvent]int{}
-	for _, s := range res.Recorder.Samples {
+	res.Recorder.Each(func(s tcpsim.ProbeSample) bool {
 		t := s.At.Seconds()
 		if s.ConnID != "spdy00:s" || t < 40 || t > 190 {
-			continue
+			return true
 		}
 		switch s.Event {
 		case tcpsim.EvRetransmit, tcpsim.EvFastRetx, tcpsim.EvIdleRestart, tcpsim.EvUndo, tcpsim.EvSpurious:
 			counts[s.Event]++
 		}
-	}
+		return true
+	})
 	r.Metric("idle restarts (cwnd→IW) in window", float64(counts[tcpsim.EvIdleRestart]), "events")
 	r.Metric("retransmissions in window", float64(counts[tcpsim.EvRetransmit]+counts[tcpsim.EvFastRetx]), "segments")
 	r.Metric("undo events in window", float64(counts[tcpsim.EvUndo]), "events")
@@ -194,11 +197,12 @@ func runFig13(h Harness) *Report {
 	var perConn, conns, singleFrac []float64
 	for _, res := range httpRes {
 		byConn := map[string]int{}
-		for _, s := range res.Recorder.Samples {
+		res.Recorder.Each(func(s tcpsim.ProbeSample) bool {
 			if s.Event == tcpsim.EvRetransmit || s.Event == tcpsim.EvFastRetx {
 				byConn[s.ConnID]++
 			}
-		}
+			return true
+		})
 		total := 0
 		for _, n := range byConn {
 			total += n
@@ -226,12 +230,13 @@ func runFig13(h Harness) *Report {
 	for _, res := range spdyRes {
 		byConn := map[string]int{}
 		total := 0
-		for _, s := range res.Recorder.Samples {
+		res.Recorder.Each(func(s tcpsim.ProbeSample) bool {
 			if s.Event == tcpsim.EvRetransmit || s.Event == tcpsim.EvFastRetx {
 				byConn[s.ConnID]++
 				total++
 			}
-		}
+			return true
+		})
 		top := 0
 		for _, n := range byConn {
 			if n > top {

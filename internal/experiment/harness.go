@@ -82,7 +82,33 @@ type Options struct {
 
 	// SampleEvery sets the telemetry sampling period (default 500 ms).
 	SampleEvery time.Duration
+
+	// ProbeStride downsamples bulk (ack/send) tcp_probe samples: every
+	// stride-th one is retained. 0 selects the package default
+	// (DefaultProbeStride); 1 retains everything. Rare events and all
+	// aggregate statistics are unaffected — see tcpsim.Recorder.
+	ProbeStride int
 }
+
+// defaultProbeStride is the bulk-sample downsampling applied when
+// Options.ProbeStride is zero. Stride 4 keeps figure traces dense while
+// shrinking a cached full-sweep recorder by roughly another 3× on top of
+// the columnar layout.
+var defaultProbeStride = 4
+
+// SetDefaultProbeStride replaces the package-wide default bulk-sample
+// stride (n < 1 selects 1, i.e. retain everything). It backs the
+// -probestride flag of cmd/spdysim; changing it invalidates nothing in
+// flight but affects only subsequently started runs.
+func SetDefaultProbeStride(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultProbeStride = n
+}
+
+// DefaultProbeStride reports the current package default stride.
+func DefaultProbeStride() int { return defaultProbeStride }
 
 func (o Options) withDefaults() Options {
 	if o.Mode == "" {
@@ -111,6 +137,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SampleEvery == 0 {
 		o.SampleEvery = 500 * time.Millisecond
+	}
+	if o.ProbeStride == 0 {
+		o.ProbeStride = defaultProbeStride
 	}
 	return o
 }
@@ -233,7 +262,7 @@ func Run(opts Options) *Result {
 	rng := sim.NewRNG(opts.Seed)
 	net, radio := buildNetwork(loop, opts.Network, rng)
 
-	rec := tcpsim.NewRecorder()
+	rec := tcpsim.NewRecorderStride(opts.ProbeStride)
 	ocfg := proxy.DefaultOriginConfig()
 	if opts.FastOrigin {
 		ocfg = proxy.FastOriginConfig()
@@ -346,5 +375,11 @@ func Run(opts Options) *Result {
 	if radio != nil {
 		res.RadioMJ = radio.EnergyMilliJoules()
 	}
+	// A memoized Result must retain data, not the run's machinery: drop
+	// the event queue's callbacks, the segment pool and per-connection
+	// runtime state so the browser/proxy/compression graph of the run is
+	// collectable while the Result sits in the cache.
+	net.ReleaseRuntime()
+	loop.Release()
 	return res
 }

@@ -84,13 +84,13 @@ func isolateCleanHTTP(t *testing.T, traced bool) {
 	}
 	loop.Run(sim.Time(360 * time.Second))
 	t.Logf("plts=%.2v", plts)
-	t.Logf("retx=%d fast=%d spurious=%d idle=%d", rec.Counts[tcpsim.EvRetransmit],
-		rec.Counts[tcpsim.EvFastRetx], rec.Counts[tcpsim.EvSpurious], rec.Counts[tcpsim.EvIdleRestart])
+	t.Logf("retx=%d fast=%d spurious=%d idle=%d", rec.Count(tcpsim.EvRetransmit),
+		rec.Count(tcpsim.EvFastRetx), rec.Count(tcpsim.EvSpurious), rec.Count(tcpsim.EvIdleRestart))
 	// Fast retransmits on a lossless path can only come from duplicate
 	// ACKs provoked by spurious RTO retransmissions landing after their
 	// originals — the paper's pathology, not a protocol bug. Anything
 	// beyond that small collateral indicates a logic error.
-	if fast, spur := rec.Counts[tcpsim.EvFastRetx], rec.Counts[tcpsim.EvSpurious]; fast > spur {
+	if fast, spur := rec.Count(tcpsim.EvFastRetx), rec.Count(tcpsim.EvSpurious); fast > spur {
 		t.Errorf("fast retransmissions (%d) exceed spurious-RTO collateral (%d)", fast, spur)
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"spdier/internal/browser"
+	"spdier/internal/sim"
+	"spdier/internal/tcpsim"
 	"spdier/internal/webpage"
 )
 
@@ -57,6 +59,7 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 		"fastorigin": {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, FastOrigin: true},
 		"noundo":     {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, DisableUndo: true},
 		"sample":     {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, SampleEvery: time.Second},
+		"pstride":    {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, ProbeStride: 2},
 	}
 	seen := map[string]string{bk: "base"}
 	for name, opts := range variants {
@@ -95,37 +98,84 @@ func TestRunnerDoesNotMemoizePagesRuns(t *testing.T) {
 }
 
 // TestParallelSweepMatchesSerial is the determinism contract: fanning
-// seeds across goroutines must be bit-for-bit identical to the serial
-// sweep.
+// seeds across goroutines, recycling events/segments through the pools,
+// and re-running on a process whose pools are already warm must all be
+// bit-for-bit identical to the serial sweep.
 func TestParallelSweepMatchesSerial(t *testing.T) {
 	h := Harness{Runs: 4, Seed: 11}
 	base := Options{Mode: browser.ModeSPDY, Network: NetWiFi, Sites: webpage.Table1()[:8]}
 	serial := NewRunner(1).Sweep(h, base)
 	par := NewRunner(4).Sweep(h, base)
-	if len(serial) != len(par) {
-		t.Fatalf("length %d vs %d", len(serial), len(par))
-	}
-	for i := range serial {
-		if serial[i].Opts.Seed != par[i].Opts.Seed {
-			t.Fatalf("run %d: seed %d vs %d (ordering broken)", i, serial[i].Opts.Seed, par[i].Opts.Seed)
+
+	// Pooled-after-reuse: one full sweep recycles thousands of events and
+	// segments through the free lists; resetting the cache forces a second
+	// sweep to re-simulate every condition on that reused state.
+	reuse := NewRunner(2)
+	reuse.Sweep(h, base)
+	reuse.ResetCache()
+	reused := reuse.Sweep(h, base)
+
+	// Unpooled: the free lists disabled entirely, every event and segment
+	// freshly allocated.
+	sim.SetEventRecycling(false)
+	tcpsim.SetSegmentPooling(false)
+	unpooled := NewRunner(1).Sweep(h, base)
+	sim.SetEventRecycling(true)
+	tcpsim.SetSegmentPooling(true)
+
+	for name, got := range map[string][]*Result{
+		"parallel": par, "pooled-after-reuse": reused, "unpooled": unpooled,
+	} {
+		if len(serial) != len(got) {
+			t.Fatalf("%s: length %d vs %d", name, len(serial), len(got))
 		}
-		sp, pp := serial[i].PLTSeconds(), par[i].PLTSeconds()
-		if len(sp) != len(pp) {
-			t.Fatalf("run %d: %d vs %d pages", i, len(sp), len(pp))
-		}
-		for j := range sp {
-			if sp[j] != pp[j] {
-				t.Fatalf("run %d page %d: PLT %v vs %v", i, j, sp[j], pp[j])
+		for i := range serial {
+			s, g := serial[i], got[i]
+			if s.Opts.Seed != g.Opts.Seed {
+				t.Fatalf("%s run %d: seed %d vs %d (ordering broken)", name, i, s.Opts.Seed, g.Opts.Seed)
 			}
+			sp, gp := s.PLTSeconds(), g.PLTSeconds()
+			if len(sp) != len(gp) {
+				t.Fatalf("%s run %d: %d vs %d pages", name, i, len(sp), len(gp))
+			}
+			for j := range sp {
+				if sp[j] != gp[j] {
+					t.Fatalf("%s run %d page %d: PLT %v vs %v", name, i, j, sp[j], gp[j])
+				}
+			}
+			if s.Retransmissions() != g.Retransmissions() {
+				t.Fatalf("%s run %d: retx %d vs %d", name, i, s.Retransmissions(), g.Retransmissions())
+			}
+			if len(s.Samples) != len(g.Samples) {
+				t.Fatalf("%s run %d: %d vs %d samples", name, i, len(s.Samples), len(g.Samples))
+			}
+			if s.Duration != g.Duration {
+				t.Fatalf("%s run %d: duration %v vs %v", name, i, s.Duration, g.Duration)
+			}
+			compareRecorders(t, name, i, s.Recorder, g.Recorder)
 		}
-		if serial[i].Retransmissions() != par[i].Retransmissions() {
-			t.Fatalf("run %d: retx %d vs %d", i, serial[i].Retransmissions(), par[i].Retransmissions())
+	}
+}
+
+// compareRecorders checks the full columnar probe trace, not just its
+// length: every retained sample and every exact aggregate must match.
+func compareRecorders(t *testing.T, name string, run int, want, got *tcpsim.Recorder) {
+	t.Helper()
+	if want.Len() != got.Len() || want.TotalSamples() != got.TotalSamples() {
+		t.Fatalf("%s run %d: recorder %d/%d retained vs %d/%d",
+			name, run, want.Len(), want.TotalSamples(), got.Len(), got.TotalSamples())
+	}
+	if want.MeanCwnd() != got.MeanCwnd() || want.MaxCwnd() != got.MaxCwnd() {
+		t.Fatalf("%s run %d: cwnd aggregates diverge", name, run)
+	}
+	for _, ev := range tcpsim.Events() {
+		if want.Count(ev) != got.Count(ev) {
+			t.Fatalf("%s run %d: %s count %d vs %d", name, run, ev, want.Count(ev), got.Count(ev))
 		}
-		if len(serial[i].Samples) != len(par[i].Samples) {
-			t.Fatalf("run %d: %d vs %d samples", i, len(serial[i].Samples), len(par[i].Samples))
-		}
-		if serial[i].Duration != par[i].Duration {
-			t.Fatalf("run %d: duration %v vs %v", i, serial[i].Duration, par[i].Duration)
+	}
+	for i := 0; i < want.Len(); i++ {
+		if want.Get(i) != got.Get(i) {
+			t.Fatalf("%s run %d: sample %d diverges:\n%+v\n%+v", name, run, i, want.Get(i), got.Get(i))
 		}
 	}
 }

@@ -80,12 +80,34 @@ type Link struct {
 	// lastArrival enforces FIFO delivery despite jitter.
 	lastArrival sim.Time
 
+	// In-flight packets are tracked in two FIFO rings driven by two
+	// prebound callbacks, instead of one capturing closure per event.
+	// This is sound because both event streams are scheduled in
+	// monotonically non-decreasing time order (busyUntil never moves
+	// backwards; arrivals are clamped to lastArrival) and the event loop
+	// breaks time ties in scheduling order, so events fire in exactly the
+	// order the rings were pushed.
+	txq       intRing      // wire sizes awaiting end-of-serialization
+	arrivals  deliveryRing // payloads awaiting delivery at the far end
+	onTxDone  func()
+	onArrival func()
+
 	stats LinkStats
 }
 
 // NewLink creates a link. gate may be nil (wired/WiFi).
 func NewLink(loop *sim.Loop, cfg LinkConfig, rng *sim.RNG, gate Gate) *Link {
-	return &Link{loop: loop, cfg: cfg, rng: rng, gate: gate}
+	l := &Link{loop: loop, cfg: cfg, rng: rng, gate: gate}
+	l.onTxDone = func() { l.queuedBytes -= l.txq.pop() }
+	l.onArrival = func() {
+		d := l.arrivals.pop()
+		l.stats.Delivered++
+		l.stats.Bytes += int64(d.size)
+		if l.receiver != nil {
+			l.receiver(d.p)
+		}
+	}
+	return l
 }
 
 // SetReceiver installs the delivery callback for the far end.
@@ -162,15 +184,79 @@ func (l *Link) Send(p Payload, size int) bool {
 	}
 	l.lastArrival = arrive
 
-	l.loop.At(done, func() { l.queuedBytes -= size })
-	l.loop.At(arrive, func() {
-		l.stats.Delivered++
-		l.stats.Bytes += int64(size)
-		if l.receiver != nil {
-			l.receiver(p)
-		}
-	})
+	l.txq.push(size)
+	l.loop.At(done, l.onTxDone)
+	l.arrivals.push(delivery{p: p, size: size})
+	l.loop.At(arrive, l.onArrival)
 	return true
+}
+
+// delivery is one queued arrival at the far end of a link.
+type delivery struct {
+	p    Payload
+	size int
+}
+
+// intRing and deliveryRing are minimal power-of-two FIFO rings. They
+// exist so the per-packet dequeue and delivery bookkeeping costs zero
+// allocations in steady state.
+
+type intRing struct {
+	buf     []int
+	head, n int
+}
+
+func (r *intRing) push(v int) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+func (r *intRing) pop() int {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+func (r *intRing) grow() {
+	nb := make([]int, max(2*len(r.buf), 16))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = nb, 0
+}
+
+type deliveryRing struct {
+	buf     []delivery
+	head, n int
+}
+
+func (r *deliveryRing) push(v delivery) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+func (r *deliveryRing) pop() delivery {
+	i := r.head
+	v := r.buf[i]
+	r.buf[i] = delivery{} // drop the payload reference
+	r.head = (i + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+func (r *deliveryRing) grow() {
+	nb := make([]delivery, max(2*len(r.buf), 16))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = nb, 0
 }
 
 // Path is a duplex pair of links, optionally sharing one radio gate.

@@ -198,7 +198,16 @@ type Machine struct {
 	promoteDone  sim.Time
 	promoteTo    State
 	lastActivity sim.Time
-	demoteTimer  *sim.Timer
+	demoteTimer  sim.Timer
+
+	// Prebound timer callbacks. The demotion timer is re-armed on every
+	// packet, so its callback must not be a fresh closure each time; the
+	// pending demotion's parameters live in demoteFrom/demoteTarget
+	// (always consistent because arming stops any previous timer first).
+	demoteFn     func()
+	demoteFrom   sim.Time
+	demoteTarget State
+	promoteFn    func()
 
 	// Energy accounting.
 	lastPowerAt sim.Time
@@ -216,6 +225,19 @@ func NewMachine(loop *sim.Loop, p Profile) *Machine {
 		profile:     p,
 		state:       p.Initial,
 		lastPowerAt: loop.Now(),
+	}
+	m.demoteFn = func() {
+		// Only demote if truly idle since demoteFrom.
+		if m.lastActivity > m.demoteFrom || m.promoting {
+			return
+		}
+		m.setState(m.demoteTarget)
+		m.scheduleDemotionChain(m.loop.Now())
+	}
+	m.promoteFn = func() {
+		m.promoting = false
+		m.setState(m.promoteTo)
+		m.armDemotion(m.loop.Now())
 	}
 	return m
 }
@@ -325,21 +347,14 @@ func (m *Machine) ReadyAt(bytes int) sim.Time {
 	if delay > 0 {
 		m.promotions++
 	}
-	m.loop.At(m.promoteDone, func() {
-		m.promoting = false
-		m.setState(m.promoteTo)
-		m.armDemotion(m.loop.Now())
-	})
+	m.loop.At(m.promoteDone, m.promoteFn)
 	return m.promoteDone
 }
 
 // armDemotion schedules the inactivity demotion appropriate for the state
 // the machine will be in at time from, cancelling any previous timer.
 func (m *Machine) armDemotion(from sim.Time) {
-	if m.demoteTimer != nil {
-		m.demoteTimer.Stop()
-		m.demoteTimer = nil
-	}
+	m.demoteTimer.Stop()
 	m.scheduleDemotionChain(from)
 }
 
@@ -358,16 +373,9 @@ func (m *Machine) scheduleDemotionChain(from sim.Time) {
 	if d == nil {
 		return
 	}
-	at := from.Add(d.Idle)
-	dem := *d
-	m.demoteTimer = m.loop.At(at, func() {
-		// Only demote if truly idle since `from`.
-		if m.lastActivity > from || m.promoting {
-			return
-		}
-		m.setState(dem.To)
-		m.scheduleDemotionChain(m.loop.Now())
-	})
+	m.demoteFrom = from
+	m.demoteTarget = d.To
+	m.demoteTimer = m.loop.At(from.Add(d.Idle), m.demoteFn)
 }
 
 // CurrentRate returns the data rate ceiling imposed by the radio state in

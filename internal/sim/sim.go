@@ -1,15 +1,22 @@
 // Package sim provides a deterministic discrete-event simulation core:
-// a virtual clock, a binary-heap event queue, cancellable timers, and a
+// a virtual clock, a specialized event queue, cancellable timers, and a
 // seedable pseudo-random number generator.
 //
 // Everything in the simulator universe — TCP endpoints, radio state
 // machines, link queues, browsers, proxies — schedules work through a
 // single *Loop. Events fire in strict (time, sequence) order, so two runs
 // with the same seed are bit-for-bit identical.
+//
+// The queue is built for zero steady-state allocation: events live in a
+// slot pool recycled through a free list, the priority queue is an
+// index-based 4-ary heap of (time, seq, slot) entries, and Timer handles
+// are plain values carrying a generation number, so At/After/Stop allocate
+// nothing once the pool is warm. Stopping a timer removes its entry from
+// the heap immediately, so cancelled events never linger in the queue and
+// Pending() is O(1).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -54,42 +61,32 @@ func (t Time) String() string {
 	return time.Duration(t).String()
 }
 
-// event is a scheduled callback.
-type event struct {
-	at     Time
-	seq    uint64 // tie-break so equal-time events fire FIFO
-	fn     func()
-	index  int // heap index, -1 when popped/cancelled
-	cancel bool
+// recycleEvents gates the slot free list. Tests set it to false to prove
+// pooled and unpooled runs are bit-for-bit identical; production code
+// never touches it.
+var recycleEvents = true
+
+// SetEventRecycling enables or disables event-slot recycling process-wide.
+// It exists solely for determinism tests (pooled vs unpooled equality) and
+// must not be toggled while loops are running on other goroutines.
+func SetEventRecycling(on bool) { recycleEvents = on }
+
+// eventSlot is pooled storage for one scheduled callback. Slots are
+// addressed by index so the pool can grow without invalidating handles;
+// gen disambiguates reuse so stale Timer values are inert.
+type eventSlot struct {
+	fn  func()
+	at  Time
+	gen uint32
+	pos int32 // index into Loop.heap, -1 when not queued
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// heapEntry is one 4-ary heap element. The ordering key (at, seq) is
+// stored inline so sifting never chases the slot pool.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	id  int32
 }
 
 // Loop is a discrete-event scheduler. The zero value is not usable; call
@@ -97,7 +94,9 @@ func (h *eventHeap) Pop() any {
 type Loop struct {
 	now     Time
 	seq     uint64
-	heap    eventHeap
+	slots   []eventSlot
+	free    []int32
+	heap    []heapEntry
 	running bool
 	stopped bool
 	fired   uint64
@@ -115,53 +114,94 @@ func (l *Loop) Now() Time { return l.now }
 // and runaway-loop metric in tests.
 func (l *Loop) Fired() uint64 { return l.fired }
 
-// Timer is a handle to a scheduled event. Stop cancels it.
+// Timer is a handle to a scheduled event. The zero value is an inert
+// handle: Stop and Pending report false and When reports Forever. Handles
+// are values — copying one is free and a handle outlives its event safely
+// (the generation check makes handles to fired or stopped events inert
+// even after their slot is recycled).
 type Timer struct {
 	loop *Loop
-	ev   *event
+	id   int32
+	gen  uint32
 }
 
-// Stop cancels the timer. It reports whether the timer was still pending.
-// Stopping an already-fired or already-stopped timer is a no-op.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.cancel {
+// valid reports whether the handle still refers to its scheduled event.
+func (t Timer) valid() bool {
+	return t.loop != nil && t.loop.slots[t.id].gen == t.gen
+}
+
+// Stop cancels the timer, removing its event from the queue immediately
+// (the slot is recycled rather than lingering until popped). It reports
+// whether the timer was still pending. Stopping an already-fired or
+// already-stopped timer is a no-op.
+func (t Timer) Stop() bool {
+	if !t.valid() {
 		return false
 	}
-	if t.ev.index < 0 {
-		// Already fired or popped.
+	l := t.loop
+	pos := l.slots[t.id].pos
+	if pos < 0 {
 		return false
 	}
-	t.ev.cancel = true
+	l.heapRemove(int(pos))
+	l.freeSlot(t.id)
 	return true
 }
 
 // Pending reports whether the timer has yet to fire.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.cancel && t.ev.index >= 0
+func (t Timer) Pending() bool {
+	return t.valid() && t.loop.slots[t.id].pos >= 0
 }
 
-// When returns the virtual time at which the timer fires.
-func (t *Timer) When() Time {
-	if t == nil || t.ev == nil {
+// When returns the virtual time at which the timer fires, or Forever once
+// the timer has fired or been stopped.
+func (t Timer) When() Time {
+	if !t.Pending() {
 		return Forever
 	}
-	return t.ev.at
+	return t.loop.slots[t.id].at
+}
+
+// allocSlot returns a free slot index, growing the pool if needed.
+func (l *Loop) allocSlot() int32 {
+	if n := len(l.free); n > 0 {
+		id := l.free[n-1]
+		l.free = l.free[:n-1]
+		return id
+	}
+	l.slots = append(l.slots, eventSlot{})
+	return int32(len(l.slots) - 1)
+}
+
+// freeSlot releases a slot back to the pool. The generation bump makes
+// every outstanding Timer for this slot inert.
+func (l *Loop) freeSlot(id int32) {
+	s := &l.slots[id]
+	s.fn = nil
+	s.gen++
+	s.pos = -1
+	if recycleEvents {
+		l.free = append(l.free, id)
+	}
 }
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the
 // past panics: it always indicates a logic bug in a discrete-event model.
-func (l *Loop) At(at Time, fn func()) *Timer {
+func (l *Loop) At(at Time, fn func()) Timer {
 	if at < l.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, l.now))
 	}
 	l.seq++
-	e := &event{at: at, seq: l.seq, fn: fn}
-	heap.Push(&l.heap, e)
-	return &Timer{loop: l, ev: e}
+	id := l.allocSlot()
+	s := &l.slots[id]
+	s.fn = fn
+	s.at = at
+	l.heapPush(heapEntry{at: at, seq: l.seq, id: id})
+	return Timer{loop: l, id: id, gen: s.gen}
 }
 
 // After schedules fn to run d from now. Negative d is clamped to zero.
-func (l *Loop) After(d time.Duration, fn func()) *Timer {
+func (l *Loop) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -182,20 +222,18 @@ func (l *Loop) Run(deadline Time) Time {
 	l.stopped = false
 	for len(l.heap) > 0 && !l.stopped {
 		e := l.heap[0]
-		if e.cancel {
-			heap.Pop(&l.heap)
-			continue
-		}
 		if e.at > deadline {
 			l.now = deadline
 			return l.now
 		}
-		heap.Pop(&l.heap)
+		fn := l.slots[e.id].fn
+		l.heapRemove(0)
+		l.freeSlot(e.id)
 		if e.at > l.now {
 			l.now = e.at
 		}
 		l.fired++
-		e.fn()
+		fn()
 	}
 	if deadline != Forever && l.now < deadline && len(l.heap) == 0 {
 		l.now = deadline
@@ -206,13 +244,103 @@ func (l *Loop) Run(deadline Time) Time {
 // RunUntilIdle executes all pending events with no deadline.
 func (l *Loop) RunUntilIdle() Time { return l.Run(Forever) }
 
-// Pending reports the number of queued (non-cancelled) events.
-func (l *Loop) Pending() int {
-	n := 0
-	for _, e := range l.heap {
-		if !e.cancel {
-			n++
-		}
+// Release drops every scheduled callback, the heap, and the slot free
+// list. Call it once a simulation has finished and its results have been
+// extracted: a retained Loop (e.g. reachable from a memoized result)
+// must not pin the object graph its callbacks close over. Outstanding
+// Timer handles become inert, exactly as if they had been stopped, and
+// the loop itself remains usable for scheduling fresh events.
+func (l *Loop) Release() {
+	for i := range l.slots {
+		l.slots[i] = eventSlot{gen: l.slots[i].gen + 1, pos: -1}
 	}
-	return n
+	l.heap = nil
+	l.free = nil
+}
+
+// Pending reports the number of queued events. Stopped timers are removed
+// from the heap eagerly, so this is simply the heap length — O(1), where
+// the previous lazy-cancellation queue had to scan every entry.
+func (l *Loop) Pending() int { return len(l.heap) }
+
+// --- 4-ary heap ordered by (at, seq) ---
+//
+// A 4-ary layout halves the tree depth of a binary heap; combined with
+// inline keys this makes sift operations short, branch-predictable loops
+// over one contiguous slice. slots[id].pos tracks each entry's heap index
+// so Stop can remove an arbitrary entry in O(log n).
+
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (l *Loop) heapPush(e heapEntry) {
+	l.heap = append(l.heap, e)
+	l.siftUp(len(l.heap) - 1)
+}
+
+// heapRemove deletes the entry at index i, preserving heap order.
+func (l *Loop) heapRemove(i int) {
+	n := len(l.heap) - 1
+	last := l.heap[n]
+	l.heap = l.heap[:n]
+	if i == n {
+		return
+	}
+	l.heap[i] = last
+	l.slots[last.id].pos = int32(i)
+	if i > 0 && entryLess(last, l.heap[(i-1)>>2]) {
+		l.siftUp(i)
+	} else {
+		l.siftDown(i)
+	}
+}
+
+func (l *Loop) siftUp(i int) {
+	h := l.heap
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entryLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		l.slots[h[i].id].pos = int32(i)
+		i = p
+	}
+	h[i] = e
+	l.slots[e.id].pos = int32(i)
+}
+
+func (l *Loop) siftDown(i int) {
+	h := l.heap
+	n := len(h)
+	e := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !entryLess(h[m], e) {
+			break
+		}
+		h[i] = h[m]
+		l.slots[h[i].id].pos = int32(i)
+		i = m
+	}
+	h[i] = e
+	l.slots[e.id].pos = int32(i)
 }

@@ -98,34 +98,80 @@ const (
 // of many connections over the same emulated links — exactly how many
 // browser connections share one radio bearer.
 type Network struct {
-	loop  *sim.Loop
-	path  *netem.Path
-	conns []*Conn
-}
-
-type envelope struct {
-	to  *Conn
-	seg *Segment
+	loop    *sim.Loop
+	path    *netem.Path
+	conns   []*Conn
+	segFree []*Segment
 }
 
 // Conns returns every connection endpoint created through this network.
 func (n *Network) Conns() []*Conn { return n.conns }
+
+// ReleaseRuntime frees simulation-time state a finished run no longer
+// needs — the segment pool, per-connection queues, scratch buffers and
+// application callbacks — while keeping every counter and accessor that
+// results read (Conns, Path, Retransmits, String). A memoized Result
+// then retains statistics, not the closure graph of the whole run.
+func (n *Network) ReleaseRuntime() {
+	n.segFree = nil
+	for _, c := range n.conns {
+		c.releaseRuntime()
+	}
+}
+
+func (c *Conn) releaseRuntime() {
+	c.inflight, c.inflHead = nil, 0
+	c.ooo = nil
+	c.sackScratch = nil
+	c.onEstablished, c.onDeliver, c.onClose = nil, nil, nil
+	c.writableHook = nil
+	c.onRTOFn, c.delayedAckFn = nil, nil
+	c.rtoTimer, c.delayedAck = sim.Timer{}, sim.Timer{}
+	c.cfg.Probe = nil
+}
 
 // NewNetwork installs segment demultiplexers on both directions of path.
 func NewNetwork(loop *sim.Loop, path *netem.Path) *Network {
 	n := &Network{loop: loop, path: path}
 	deliver := func(p netem.Payload) {
 		// Non-TCP traffic (e.g. the Figure 14 keep-alive pinger) shares
-		// the path; ignore anything that isn't a segment envelope.
-		e, ok := p.(envelope)
+		// the path; ignore anything that isn't a segment.
+		seg, ok := p.(*Segment)
 		if !ok {
 			return
 		}
-		e.to.handleSegment(e.seg)
+		to := seg.to
+		to.handleSegment(seg)
+		n.putSeg(seg)
 	}
 	path.AtoB.SetReceiver(deliver)
 	path.BtoA.SetReceiver(deliver)
 	return n
+}
+
+// getSeg returns a zeroed segment, recycled from the pool when possible.
+// Segments live exactly one send→link→deliver cycle: transmit hands them
+// to the link, the network demuxer returns them after handleSegment, so
+// steady-state traffic allocates no segments at all.
+func (n *Network) getSeg() *Segment {
+	if ln := len(n.segFree); segPooling && ln > 0 {
+		s := n.segFree[ln-1]
+		n.segFree = n.segFree[:ln-1]
+		return s
+	}
+	return &Segment{}
+}
+
+// putSeg zeroes a delivered segment and returns it to the pool, keeping
+// the Sack backing array so later ACKs reuse it.
+func (n *Network) putSeg(s *Segment) {
+	if !segPooling {
+		return
+	}
+	sack := s.Sack[:0]
+	*s = Segment{}
+	s.Sack = sack
+	n.segFree = append(n.segFree, s)
 }
 
 // Loop returns the simulation loop.
@@ -140,6 +186,8 @@ func (n *Network) Path() *netem.Path { return n.path }
 func (n *Network) NewConnPair(clientCfg, serverCfg Config, id, dest string) (client, server *Conn) {
 	client = newConn(n.loop, clientCfg, id+":c", dest, true)
 	server = newConn(n.loop, serverCfg, id+":s", dest, false)
+	client.net = n
+	server.net = n
 	client.peer = server
 	server.peer = client
 	client.out = n.path.AtoB
@@ -161,6 +209,7 @@ type Conn struct {
 	isClient bool
 	peer     *Conn
 	out      *netem.Link
+	net      *Network
 
 	state         int
 	onEstablished func()
@@ -169,14 +218,18 @@ type Conn struct {
 	tlsStep       int
 
 	// --- sender half ---
-	cc           CongestionControl
-	rtt          rttEstimator
-	cwnd         float64
-	ssthresh     float64
-	sndUna       uint64
-	sndNxt       uint64
-	sendQueue    int
+	cc        CongestionControl
+	rtt       rttEstimator
+	cwnd      float64
+	ssthresh  float64
+	sndUna    uint64
+	sndNxt    uint64
+	sendQueue int
+	// inflight is a head-indexed deque: acked segments advance inflHead
+	// instead of reslicing away front capacity, so the backing array is
+	// reused for the whole connection lifetime.
 	inflight     []sentSeg
+	inflHead     int
 	dupAcks      int
 	recoverPoint uint64
 	caState      int
@@ -188,7 +241,7 @@ type Conn struct {
 	// wasCwndLimited records whether the last transmission opportunity
 	// was cut short by the congestion window (RFC 7661 validation).
 	wasCwndLimited bool
-	rtoTimer       *sim.Timer
+	rtoTimer       sim.Timer
 	lastDataSend   sim.Time
 	everSent       bool
 	peerWnd        int
@@ -210,9 +263,12 @@ type Conn struct {
 	rcvNxt       uint64
 	ooo          map[uint64]int
 	oooBytes     int
-	delayedAck   *sim.Timer
+	delayedAck   sim.Timer
 	segsSinceAck int
 	pendingDsack bool
+	// sackScratch is reused across sackBlocks calls to sort the
+	// out-of-order sequence numbers without allocating.
+	sackScratch []uint64
 	// tsRecent is the RFC 7323 TS.Recent value: the send timestamp of
 	// the last segment that advanced the in-order window; echoed on
 	// every ACK so the peer samples true round trips even when a single
@@ -226,6 +282,12 @@ type Conn struct {
 	writableThresh int
 	writableHook   func()
 	inWritableHook bool
+
+	// Prebound timer callbacks: method values allocate a closure per use,
+	// so the RTO and delayed-ACK callbacks — re-armed on nearly every
+	// ACK — are bound once at construction.
+	onRTOFn      func()
+	delayedAckFn func()
 
 	// --- counters ---
 	Retransmits      int // RTO-driven
@@ -251,7 +313,12 @@ func newConn(loop *sim.Loop, cfg Config, id, dest string, isClient bool) *Conn {
 		cwnd:     cfg.InitialCwnd,
 		ssthresh: 1 << 20, // "infinite" until first loss
 		peerWnd:  64 << 10,
-		ooo:      make(map[uint64]int),
+	}
+	c.onRTOFn = c.onRTO
+	c.delayedAckFn = func() {
+		if c.segsSinceAck > 0 {
+			c.sendAckNow()
+		}
 	}
 	if e := cfg.Metrics.Lookup(dest); e != nil {
 		// Linux tcp_metrics: seed ssthresh and RTT state from the cache.
@@ -332,7 +399,9 @@ func (c *Conn) Connect() {
 		return
 	}
 	c.state = stSynSent
-	c.transmit(&Segment{Flags: flagSYN})
+	syn := c.newSeg()
+	syn.Flags = flagSYN
+	c.transmit(syn)
 	c.armHandshakeRetry()
 }
 
@@ -340,7 +409,9 @@ func (c *Conn) armHandshakeRetry() {
 	deadline := c.cfg.InitialRTO
 	c.loop.After(deadline, func() {
 		if c.state == stSynSent {
-			c.transmit(&Segment{Flags: flagSYN})
+			syn := c.newSeg()
+			syn.Flags = flagSYN
+			c.transmit(syn)
 			c.armHandshakeRetry()
 		}
 	})
@@ -369,7 +440,11 @@ func (c *Conn) Close() {
 	c.state = stClosing
 	if !c.finSent {
 		c.finSent = true
-		c.transmit(&Segment{Flags: flagFIN | flagACK, Ack: c.rcvNxt, Wnd: c.recvWindow()})
+		fin := c.newSeg()
+		fin.Flags = flagFIN | flagACK
+		fin.Ack = c.rcvNxt
+		fin.Wnd = c.recvWindow()
+		c.transmit(fin)
 	}
 }
 
@@ -391,7 +466,7 @@ func (c *Conn) storeMetrics() {
 // cwnd snaps back to the initial window. With ResetRTTAfterIdle the RTT
 // estimate is also discarded — the paper's fix.
 func (c *Conn) maybeIdleRestart() {
-	if c.cfg.NoIdleDemotion || !c.everSent || len(c.inflight) > 0 || c.sendQueue > 0 {
+	if c.cfg.NoIdleDemotion || !c.everSent || len(c.infl()) > 0 || c.sendQueue > 0 {
 		return
 	}
 	idle := c.loop.Now().Sub(c.lastDataSend)
@@ -428,12 +503,36 @@ func (c *Conn) probe(ev ProbeEvent) {
 	})
 }
 
+// infl returns the live window of the inflight deque.
+func (c *Conn) infl() []sentSeg { return c.inflight[c.inflHead:] }
+
+// pushInflight appends a segment record, compacting the deque in place
+// before the backing array would have to grow.
+func (c *Conn) pushInflight(s sentSeg) {
+	if len(c.inflight) == cap(c.inflight) && c.inflHead > 0 {
+		n := copy(c.inflight, c.inflight[c.inflHead:])
+		c.inflight = c.inflight[:n]
+		c.inflHead = 0
+	}
+	c.inflight = append(c.inflight, s)
+}
+
+// popInflightFront drops the oldest in-flight segment (it was acked).
+func (c *Conn) popInflightFront() {
+	c.inflHead++
+	if c.inflHead == len(c.inflight) {
+		c.inflight = c.inflight[:0]
+		c.inflHead = 0
+	}
+}
+
 // pktsInFlight counts outstanding segments not currently marked lost —
 // the quantity congestion control paces against during loss recovery.
 func (c *Conn) pktsInFlight() int {
 	n := 0
-	for i := range c.inflight {
-		if !c.inflight[i].lost && !c.inflight[i].sacked {
+	fl := c.infl()
+	for i := range fl {
+		if !fl[i].lost && !fl[i].sacked {
 			n++
 		}
 	}
@@ -453,17 +552,18 @@ func (c *Conn) trySend() {
 	// back: if the timeout was spurious, the very next ACK will cover an
 	// original transmission and cancel the loss marks entirely.
 	if (c.caState == caLoss && c.lossAcks != 1) || c.caState == caRecovery {
-		for i := range c.inflight {
+		fl := c.infl()
+		for i := range fl {
 			if float64(c.pktsInFlight()) >= c.cwnd {
 				break
 			}
-			if !c.inflight[i].lost || c.inflight[i].sacked {
+			if !fl[i].lost || fl[i].sacked {
 				continue
 			}
-			c.inflight[i].lost = false
-			c.inflight[i].retx = true
-			c.inflight[i].sentAt = c.loop.Now()
-			c.retransmitSeg(&c.inflight[i])
+			fl[i].lost = false
+			fl[i].retx = true
+			fl[i].sentAt = c.loop.Now()
+			c.retransmitSeg(&fl[i])
 			c.Retransmits++
 			c.probe(EvRetransmit)
 		}
@@ -481,50 +581,55 @@ func (c *Conn) trySend() {
 		if c.InFlightBytes()+payload > c.peerWnd {
 			break
 		}
-		seg := &Segment{
-			Flags: flagACK,
-			Seq:   c.sndNxt,
-			Len:   payload,
-			Ack:   c.rcvNxt,
-			Wnd:   c.recvWindow(),
-			TSVal: c.loop.Now(),
-			TSEcr: c.tsRecent,
-		}
+		seg := c.newSeg()
+		seg.Flags = flagACK
+		seg.Seq = c.sndNxt
+		seg.Len = payload
+		seg.Ack = c.rcvNxt
+		seg.Wnd = c.recvWindow()
+		seg.TSVal = c.loop.Now()
+		seg.TSEcr = c.tsRecent
 		c.sndNxt += uint64(payload)
 		c.sendQueue -= payload
-		c.inflight = append(c.inflight, sentSeg{seq: seg.Seq, len: payload, sentAt: c.loop.Now()})
+		c.pushInflight(sentSeg{seq: seg.Seq, len: payload, sentAt: c.loop.Now()})
 		c.ackPiggybacked()
 		c.transmit(seg)
 		c.lastDataSend = c.loop.Now()
 		c.everSent = true
 		c.probe(EvSend)
-		if c.rtoTimer == nil || !c.rtoTimer.Pending() {
+		if !c.rtoTimer.Pending() {
 			c.armRTO()
 		}
 	}
 	c.fireWritable()
 }
 
+// newSeg allocates or recycles a segment for transmission.
+func (c *Conn) newSeg() *Segment {
+	if c.net != nil {
+		return c.net.getSeg()
+	}
+	return &Segment{}
+}
+
 func (c *Conn) transmit(seg *Segment) {
 	seg.From = c.id
+	seg.to = c.peer
 	if debugLog != nil {
 		debugLog(fmt.Sprintf("%v %s tx seq=%d len=%d ack=%d flags=%d", c.loop.Now(), c.id, seg.Seq, seg.Len, seg.Ack, seg.Flags))
 	}
-	c.out.Send(envelope{to: c.peer, seg: seg}, seg.wireSize())
+	if !c.out.Send(seg, seg.wireSize()) && c.net != nil {
+		c.net.putSeg(seg)
+	}
 }
 
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-	}
-	c.rtoTimer = c.loop.After(c.rtt.current(), c.onRTO)
+	c.rtoTimer.Stop()
+	c.rtoTimer = c.loop.After(c.rtt.current(), c.onRTOFn)
 }
 
 func (c *Conn) stopRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Stop()
 }
 
 // onRTO handles a retransmission timeout: collapse the window, back off
@@ -533,7 +638,7 @@ func (c *Conn) stopRTO() {
 // a radio promotion — all of this damage was for nothing, which is the
 // paper's central finding.
 func (c *Conn) onRTO() {
-	if len(c.inflight) == 0 {
+	if len(c.infl()) == 0 {
 		return
 	}
 	if c.caState != caLoss {
@@ -558,12 +663,13 @@ func (c *Conn) onRTO() {
 	// Mark every outstanding segment lost (Linux tcp_enter_loss):
 	// the first is retransmitted immediately, the rest follow through
 	// trySend as ACKs grow the window back.
-	for i := range c.inflight {
-		if !c.inflight[i].sacked {
-			c.inflight[i].lost = true
+	fl := c.infl()
+	for i := range fl {
+		if !fl[i].sacked {
+			fl[i].lost = true
 		}
 	}
-	first := &c.inflight[0]
+	first := &fl[0]
 	first.lost = false
 	first.retx = true
 	first.sentAt = c.loop.Now()
@@ -579,16 +685,15 @@ func (c *Conn) retransmitSeg(s *sentSeg) {
 		c.undoRetrans++
 		c.undoEpisode++
 	}
-	seg := &Segment{
-		Flags: flagACK,
-		Seq:   s.seq,
-		Len:   s.len,
-		Ack:   c.rcvNxt,
-		Wnd:   c.recvWindow(),
-		Retx:  true,
-		TSVal: c.loop.Now(),
-		TSEcr: c.tsRecent,
-	}
+	seg := c.newSeg()
+	seg.Flags = flagACK
+	seg.Seq = s.seq
+	seg.Len = s.len
+	seg.Ack = c.rcvNxt
+	seg.Wnd = c.recvWindow()
+	seg.Retx = true
+	seg.TSVal = c.loop.Now()
+	seg.TSEcr = c.tsRecent
 	c.transmit(seg)
 	c.lastDataSend = c.loop.Now()
 }
@@ -640,12 +745,19 @@ func (c *Conn) handleSYN() {
 			if c.state != stSynRcvd {
 				return
 			}
-			c.transmit(&Segment{Flags: flagSYN | flagACK, Wnd: c.recvWindow()})
+			c.transmitSynAck()
 			c.loop.After(c.cfg.InitialRTO, retry)
 		}
 		c.loop.After(c.cfg.InitialRTO, retry)
 	}
-	c.transmit(&Segment{Flags: flagSYN | flagACK, Wnd: c.recvWindow()})
+	c.transmitSynAck()
+}
+
+func (c *Conn) transmitSynAck() {
+	sa := c.newSeg()
+	sa.Flags = flagSYN | flagACK
+	sa.Wnd = c.recvWindow()
+	c.transmit(sa)
 }
 
 func (c *Conn) handleSYNACK() {
@@ -656,16 +768,23 @@ func (c *Conn) handleSYNACK() {
 		// Duplicate SYN-ACK: our handshake ACK was lost. Re-ACK so the
 		// server can leave SYN_RCVD.
 		if c.state == stEstablished || c.state == stClosing {
-			c.transmit(&Segment{Flags: flagACK, Ack: c.rcvNxt, Wnd: c.recvWindow()})
+			ack := c.newSeg()
+			ack.Flags = flagACK
+			ack.Ack = c.rcvNxt
+			ack.Wnd = c.recvWindow()
+			c.transmit(ack)
 		}
 		return
 	}
 	c.state = stEstablished
 	// Handshake ACK.
-	c.transmit(&Segment{Flags: flagACK, Ack: 0, Wnd: c.recvWindow()})
+	hack := c.newSeg()
+	hack.Flags = flagACK
+	hack.Wnd = c.recvWindow()
+	c.transmit(hack)
 	if c.cfg.TLS {
 		c.tlsStep = 1
-		c.transmit(&Segment{Flags: flagCTRL, CtrlLen: 250}) // ClientHello
+		c.transmitCtrl(250) // ClientHello
 		return
 	}
 	c.finishEstablish()
@@ -702,7 +821,7 @@ func (c *Conn) handleTLS(seg *Segment) {
 		switch c.tlsStep {
 		case 1: // got ServerHello+cert
 			c.tlsStep = 2
-			c.transmit(&Segment{Flags: flagCTRL, CtrlLen: 350}) // key exchange + Finished
+			c.transmitCtrl(350) // key exchange + Finished
 		case 2: // got server Finished
 			c.tlsStep = 3
 			c.finishEstablish()
@@ -713,12 +832,19 @@ func (c *Conn) handleTLS(seg *Segment) {
 	switch c.tlsStep {
 	case 0: // got ClientHello
 		c.tlsStep = 1
-		c.transmit(&Segment{Flags: flagCTRL, CtrlLen: 3000}) // ServerHello + certs
+		c.transmitCtrl(3000) // ServerHello + certs
 	case 1: // got client Finished
 		c.tlsStep = 2
-		c.transmit(&Segment{Flags: flagCTRL, CtrlLen: 60}) // server Finished
+		c.transmitCtrl(60) // server Finished
 		c.finishEstablish()
 	}
+}
+
+func (c *Conn) transmitCtrl(n int) {
+	seg := c.newSeg()
+	seg.Flags = flagCTRL
+	seg.CtrlLen = n
+	c.transmit(seg)
 }
 
 func (c *Conn) recvWindow() int {
@@ -746,6 +872,9 @@ func (c *Conn) receiveData(seg *Segment) {
 	case seg.Seq > c.rcvNxt:
 		// Hole: buffer and emit an immediate duplicate ACK.
 		if _, dup := c.ooo[seg.Seq]; !dup {
+			if c.ooo == nil {
+				c.ooo = make(map[uint64]int, 8)
+			}
 			c.ooo[seg.Seq] = seg.Len
 			c.oooBytes += seg.Len
 		}
@@ -787,12 +916,8 @@ func (c *Conn) scheduleAck() {
 		c.sendAckNow()
 		return
 	}
-	if c.delayedAck == nil || !c.delayedAck.Pending() {
-		c.delayedAck = c.loop.After(c.cfg.DelayedAckTimeout, func() {
-			if c.segsSinceAck > 0 {
-				c.sendAckNow()
-			}
-		})
+	if !c.delayedAck.Pending() {
+		c.delayedAck = c.loop.After(c.cfg.DelayedAckTimeout, c.delayedAckFn)
 	}
 }
 
@@ -801,23 +926,33 @@ func (c *Conn) sendAckNow() {
 	if debugLog != nil {
 		debugLog(fmt.Sprintf("%v %s sendAck ack=%d dsack=%v", c.loop.Now(), c.id, c.rcvNxt, c.pendingDsack))
 	}
-	c.transmit(&Segment{Flags: flagACK, Ack: c.rcvNxt, Wnd: c.recvWindow(),
-		Dsack: c.pendingDsack, Sack: c.sackBlocks(), TSEcr: c.tsRecent})
+	seg := c.newSeg()
+	seg.Flags = flagACK
+	seg.Ack = c.rcvNxt
+	seg.Wnd = c.recvWindow()
+	seg.Dsack = c.pendingDsack
+	seg.Sack = c.appendSackBlocks(seg.Sack[:0])
+	seg.TSEcr = c.tsRecent
+	c.transmit(seg)
 	c.pendingDsack = false
 }
 
-// sackBlocks summarizes the out-of-order buffer as up to four merged
-// byte ranges, ascending — the SACK option of RFC 2018.
-func (c *Conn) sackBlocks() [][2]uint64 {
+// appendSackBlocks summarizes the out-of-order buffer as up to four
+// merged byte ranges, ascending — the SACK option of RFC 2018. Blocks
+// are appended into dst (the segment's own recycled backing array, never
+// shared scratch: the segment is in flight while this endpoint's state
+// advances, so it must own its blocks).
+func (c *Conn) appendSackBlocks(dst [][2]uint64) [][2]uint64 {
 	if len(c.ooo) == 0 {
-		return nil
+		return dst[:0]
 	}
-	seqs := make([]uint64, 0, len(c.ooo))
+	seqs := c.sackScratch[:0]
 	for seq := range c.ooo {
 		seqs = append(seqs, seq)
 	}
+	c.sackScratch = seqs
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	var blocks [][2]uint64
+	blocks := dst[:0]
 	for _, seq := range seqs {
 		end := seq + uint64(c.ooo[seq])
 		if n := len(blocks); n > 0 && blocks[n-1][1] == seq {
@@ -836,9 +971,7 @@ func (c *Conn) sackBlocks() [][2]uint64 {
 // out (either pure or on a data segment).
 func (c *Conn) ackPiggybacked() {
 	c.segsSinceAck = 0
-	if c.delayedAck != nil {
-		c.delayedAck.Stop()
-	}
+	c.delayedAck.Stop()
 }
 
 // receiveAck handles the sender half: cumulative ACK processing, RTT
@@ -858,7 +991,7 @@ func (c *Conn) receiveAck(seg *Segment) {
 	}
 	if ack > c.sndUna {
 		c.processNewAck(ack, seg)
-	} else if ack == c.sndUna && seg.Len == 0 && len(c.inflight) > 0 {
+	} else if ack == c.sndUna && seg.Len == 0 && len(c.infl()) > 0 {
 		c.processDupAck()
 	}
 	c.trySend()
@@ -867,8 +1000,12 @@ func (c *Conn) receiveAck(seg *Segment) {
 func (c *Conn) processNewAck(ack uint64, seg *Segment) {
 	ackedSegs := 0
 	spuriousTimeout := false
-	for len(c.inflight) > 0 {
-		s := c.inflight[0]
+	for {
+		fl := c.infl()
+		if len(fl) == 0 {
+			break
+		}
+		s := fl[0]
 		if s.seq+uint64(s.len) > ack {
 			break
 		}
@@ -878,13 +1015,14 @@ func (c *Conn) processNewAck(ack uint64, seg *Segment) {
 			// timeout was spurious.
 			spuriousTimeout = true
 		}
-		c.inflight = c.inflight[1:]
+		c.popInflightFront()
 		ackedSegs++
 	}
 	if spuriousTimeout {
 		// Stop the go-back-N: nothing was actually lost.
-		for i := range c.inflight {
-			c.inflight[i].lost = false
+		fl := c.infl()
+		for i := range fl {
+			fl[i].lost = false
 		}
 	}
 	c.sndUna = ack
@@ -909,10 +1047,10 @@ func (c *Conn) processNewAck(ack uint64, seg *Segment) {
 			c.cc.OnExitRecovery(c.loop.Now(), c.cwnd)
 		} else {
 			// NewReno partial ACK: retransmit the next hole, deflate.
-			if len(c.inflight) > 0 && !c.inflight[0].retx {
-				c.inflight[0].retx = true
-				c.inflight[0].sentAt = c.loop.Now()
-				c.retransmitSeg(&c.inflight[0])
+			if fl := c.infl(); len(fl) > 0 && !fl[0].retx {
+				fl[0].retx = true
+				fl[0].sentAt = c.loop.Now()
+				c.retransmitSeg(&fl[0])
 				c.FastRetransmits++
 				c.probe(EvFastRetx)
 			}
@@ -932,7 +1070,7 @@ func (c *Conn) processNewAck(ack uint64, seg *Segment) {
 	}
 
 	c.probe(EvAck)
-	if len(c.inflight) == 0 {
+	if len(c.infl()) == 0 {
 		c.stopRTO()
 	} else {
 		c.armRTO()
@@ -948,12 +1086,13 @@ func (c *Conn) applySack(blocks [][2]uint64) {
 		return
 	}
 	var highest uint64
+	fl := c.infl()
 	for _, b := range blocks {
 		if b[1] > highest {
 			highest = b[1]
 		}
-		for i := range c.inflight {
-			sg := &c.inflight[i]
+		for i := range fl {
+			sg := &fl[i]
 			if !sg.sacked && sg.seq >= b[0] && sg.seq+uint64(sg.len) <= b[1] {
 				sg.sacked = true
 				sg.lost = false
@@ -966,8 +1105,8 @@ func (c *Conn) applySack(blocks [][2]uint64) {
 	// Loss inference only inside a recovery episode: holes below the
 	// highest sacked byte are marked lost so the recovery loop repairs
 	// them paced by cwnd, instead of one hole per RTT.
-	for i := range c.inflight {
-		sg := &c.inflight[i]
+	for i := range fl {
+		sg := &fl[i]
 		if !sg.sacked && !sg.retx && sg.seq+uint64(sg.len) <= highest {
 			sg.lost = true
 		}
@@ -983,8 +1122,9 @@ func (c *Conn) applySack(blocks [][2]uint64) {
 // damage is exactly what the §6.2.1 RTT-reset fix removes.
 func (c *Conn) performUndo() {
 	c.undoActive = false
-	for i := range c.inflight {
-		c.inflight[i].lost = false
+	fl := c.infl()
+	for i := range fl {
+		fl[i].lost = false
 	}
 	if c.cwnd < c.undoCwnd {
 		c.cwnd = c.undoCwnd
@@ -1032,7 +1172,7 @@ func (c *Conn) processDupAck() {
 	c.dupAcks++
 	if debugLog != nil {
 		debugLog(fmt.Sprintf("%v %s dupack#%d una=%d nxt=%d inflight=%d ca=%d",
-			c.loop.Now(), c.id, c.dupAcks, c.sndUna, c.sndNxt, len(c.inflight), c.caState))
+			c.loop.Now(), c.id, c.dupAcks, c.sndUna, c.sndNxt, len(c.infl()), c.caState))
 	}
 	switch c.caState {
 	case caOpen:
@@ -1049,10 +1189,10 @@ func (c *Conn) processDupAck() {
 			c.recoverPoint = c.sndNxt
 			c.caState = caRecovery
 			c.cwnd = c.ssthresh + 3
-			if len(c.inflight) > 0 {
-				c.inflight[0].retx = true
-				c.inflight[0].sentAt = c.loop.Now()
-				c.retransmitSeg(&c.inflight[0])
+			if fl := c.infl(); len(fl) > 0 {
+				fl[0].retx = true
+				fl[0].sentAt = c.loop.Now()
+				c.retransmitSeg(&fl[0])
 			}
 			c.FastRetransmits++
 			c.probe(EvFastRetx)
@@ -1067,8 +1207,9 @@ func (c *Conn) processDupAck() {
 		// the hole — original and any retransmission — was lost. Repair
 		// it on every third dupACK instead of waiting out the RTO
 		// backoff, as SACK-based Linux recovery effectively does.
-		if c.dupAcks%3 == 0 && len(c.inflight) > 0 && !c.inflight[0].sacked {
-			first := &c.inflight[0]
+		fl := c.infl()
+		if c.dupAcks%3 == 0 && len(fl) > 0 && !fl[0].sacked {
+			first := &fl[0]
 			// Only re-send the hole if it hasn't been retransmitted
 			// within roughly one RTT — the copy may still be in flight.
 			rtt := c.rtt.srtt
@@ -1091,5 +1232,5 @@ func (c *Conn) processDupAck() {
 // String renders a compact state summary for debugging.
 func (c *Conn) String() string {
 	return fmt.Sprintf("%s state=%d cwnd=%.1f ssthresh=%.1f una=%d nxt=%d q=%d inflight=%d",
-		c.id, c.state, c.cwnd, c.ssthresh, c.sndUna, c.sndNxt, c.sendQueue, len(c.inflight))
+		c.id, c.state, c.cwnd, c.ssthresh, c.sndUna, c.sndNxt, c.sendQueue, len(c.infl()))
 }

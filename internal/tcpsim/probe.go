@@ -20,6 +20,36 @@ const (
 	EvUndo        ProbeEvent = "undo"     // DSACK proved the episode spurious; cwnd/ssthresh restored
 )
 
+// evCodes assigns each event a compact code for columnar storage.
+var evCodes = [...]ProbeEvent{
+	EvAck, EvSend, EvRetransmit, EvFastRetx, EvIdleRestart,
+	EvRTTReset, EvEstablished, EvSpurious, EvUndo,
+}
+
+func evCode(ev ProbeEvent) uint8 {
+	for i, e := range evCodes {
+		if e == ev {
+			return uint8(i)
+		}
+	}
+	// Unknown events (none exist today) share a sentinel code.
+	return uint8(len(evCodes))
+}
+
+func evFromCode(c uint8) ProbeEvent {
+	if int(c) < len(evCodes) {
+		return evCodes[c]
+	}
+	return ProbeEvent("unknown")
+}
+
+// Events lists every probe event class, in stable code order.
+func Events() []ProbeEvent {
+	out := make([]ProbeEvent, len(evCodes))
+	copy(out, evCodes[:])
+	return out
+}
+
 // ProbeSample is one tcp_probe-style record.
 type ProbeSample struct {
 	At       sim.Time
@@ -38,74 +68,189 @@ type Probe interface {
 	Sample(ProbeSample)
 }
 
-// Recorder is a Probe that retains every sample, with per-event counters.
+// Recorder is a Probe that retains samples in struct-of-arrays columnar
+// form: parallel slices with narrow element types (~34 bytes/sample
+// instead of ~80 for the boxed struct), with connection IDs interned.
+//
+// A stride > 1 additionally downsamples the two bulk event classes
+// (EvAck, EvSend), retaining every stride-th one. Rare events —
+// retransmissions, idle restarts, undos, RTT resets, establishment,
+// spurious arrivals — are always retained, so event counting, burst
+// analysis and the figures' event ledgers are unaffected. Aggregate
+// statistics (Counts, MeanCwnd, MaxCwnd) are maintained over every
+// sample offered, downsampled or not, so they are exact regardless of
+// stride.
 type Recorder struct {
-	Samples []ProbeSample
-	Counts  map[ProbeEvent]int
+	// counts is indexed by event code; the extra slot absorbs unknown
+	// events. An array lookup per sample instead of a string-keyed map
+	// access — Sample runs inline with the event loop.
+	counts [len(evCodes) + 1]int
+
+	stride   int // retain every stride-th bulk sample; <=1 keeps all
+	bulkSeen int // bulk samples offered, for stride selection
+
+	// Columnar sample storage.
+	at       []sim.Time
+	conn     []uint16
+	event    []uint8
+	cwnd     []float32
+	ssthresh []float32
+	inflight []int32
+	rtoMs    []float32
+	srttMs   []float32
+
+	// Connection-ID intern table. lastConn/lastCode short-circuit the
+	// map lookup for the common case of consecutive samples from one
+	// connection (ACK trains, send bursts).
+	connIDs  []string
+	connIdx  map[string]uint16
+	lastConn string
+	lastCode uint16
+
+	// Exact aggregates over all samples offered.
+	total   int
+	cwndSum float64
+	cwndMax float64
 }
 
-// NewRecorder returns an empty Recorder.
-func NewRecorder() *Recorder {
-	return &Recorder{Counts: make(map[ProbeEvent]int)}
+// NewRecorder returns an empty Recorder retaining every sample.
+func NewRecorder() *Recorder { return NewRecorderStride(1) }
+
+// NewRecorderStride returns an empty Recorder that retains every
+// stride-th bulk (ack/send) sample. stride <= 1 retains everything.
+func NewRecorderStride(stride int) *Recorder {
+	if stride < 1 {
+		stride = 1
+	}
+	return &Recorder{
+		stride:  stride,
+		connIdx: make(map[string]uint16),
+	}
 }
 
 // Sample implements Probe.
 func (r *Recorder) Sample(s ProbeSample) {
-	r.Samples = append(r.Samples, s)
-	r.Counts[s.Event]++
+	code := evCode(s.Event)
+	r.counts[code]++
+	r.total++
+	r.cwndSum += s.Cwnd
+	if s.Cwnd > r.cwndMax {
+		r.cwndMax = s.Cwnd
+	}
+	if s.Event == EvAck || s.Event == EvSend {
+		keep := r.bulkSeen%r.stride == 0
+		r.bulkSeen++
+		if !keep {
+			return
+		}
+	}
+	ci := r.lastCode
+	if s.ConnID != r.lastConn {
+		var ok bool
+		ci, ok = r.connIdx[s.ConnID]
+		if !ok {
+			ci = uint16(len(r.connIDs))
+			r.connIDs = append(r.connIDs, s.ConnID)
+			r.connIdx[s.ConnID] = ci
+		}
+		r.lastConn, r.lastCode = s.ConnID, ci
+	}
+	r.at = append(r.at, s.At)
+	r.conn = append(r.conn, ci)
+	r.event = append(r.event, code)
+	r.cwnd = append(r.cwnd, float32(s.Cwnd))
+	r.ssthresh = append(r.ssthresh, float32(s.Ssthresh))
+	r.inflight = append(r.inflight, int32(s.InFlight))
+	r.rtoMs = append(r.rtoMs, float32(s.RTOms))
+	r.srttMs = append(r.srttMs, float32(s.SRTTms))
 }
+
+// Len reports the number of retained samples.
+func (r *Recorder) Len() int { return len(r.at) }
+
+// TotalSamples reports how many samples were offered, including bulk
+// samples dropped by the stride.
+func (r *Recorder) TotalSamples() int { return r.total }
+
+// Stride returns the configured bulk downsampling stride.
+func (r *Recorder) Stride() int { return r.stride }
+
+// RetainedBytes estimates the resident size of the columnar store.
+func (r *Recorder) RetainedBytes() int {
+	per := 8 + 2 + 1 + 4 + 4 + 4 + 4 + 4 // one element in each column
+	return cap(r.at)*per + len(r.connIDs)*24
+}
+
+// Get reassembles the i-th retained sample.
+func (r *Recorder) Get(i int) ProbeSample {
+	return ProbeSample{
+		At:       r.at[i],
+		ConnID:   r.connIDs[r.conn[i]],
+		Event:    evFromCode(r.event[i]),
+		Cwnd:     float64(r.cwnd[i]),
+		Ssthresh: float64(r.ssthresh[i]),
+		InFlight: int(r.inflight[i]),
+		RTOms:    float64(r.rtoMs[i]),
+		SRTTms:   float64(r.srttMs[i]),
+	}
+}
+
+// Each calls fn for every retained sample in order, stopping early if fn
+// returns false.
+func (r *Recorder) Each(fn func(ProbeSample) bool) {
+	for i := range r.at {
+		if !fn(r.Get(i)) {
+			return
+		}
+	}
+}
+
+// Count reports how many samples of the given event class were offered
+// (exact regardless of stride).
+func (r *Recorder) Count(ev ProbeEvent) int { return r.counts[evCode(ev)] }
 
 // Retransmissions reports the total retransmission count (timeout plus
 // fast retransmit), the quantity Figures 11-13 analyze.
 func (r *Recorder) Retransmissions() int {
-	return r.Counts[EvRetransmit] + r.Counts[EvFastRetx]
+	return r.Count(EvRetransmit) + r.Count(EvFastRetx)
 }
 
 // SpuriousRetransmissions reports retransmissions for which the original
 // segment's ACK later arrived, proving the timeout premature.
-func (r *Recorder) SpuriousRetransmissions() int { return r.Counts[EvSpurious] }
+func (r *Recorder) SpuriousRetransmissions() int { return r.Count(EvSpurious) }
 
-// Filter returns the samples matching the given event.
+// Filter returns the retained samples matching the given event.
 func (r *Recorder) Filter(ev ProbeEvent) []ProbeSample {
 	var out []ProbeSample
-	for _, s := range r.Samples {
-		if s.Event == ev {
-			out = append(out, s)
+	code := evCode(ev)
+	for i := range r.at {
+		if r.event[i] == code {
+			out = append(out, r.Get(i))
 		}
 	}
 	return out
 }
 
-// ByConn splits samples per connection ID.
+// ByConn splits retained samples per connection ID.
 func (r *Recorder) ByConn() map[string][]ProbeSample {
 	out := make(map[string][]ProbeSample)
-	for _, s := range r.Samples {
+	for i := range r.at {
+		s := r.Get(i)
 		out[s.ConnID] = append(out[s.ConnID], s)
 	}
 	return out
 }
 
 // MaxCwnd returns the largest congestion window seen (Table 2's
-// "Max cwnd" row).
-func (r *Recorder) MaxCwnd() float64 {
-	var m float64
-	for _, s := range r.Samples {
-		if s.Cwnd > m {
-			m = s.Cwnd
-		}
-	}
-	return m
-}
+// "Max cwnd" row). Exact: computed over every sample offered, not just
+// the retained ones.
+func (r *Recorder) MaxCwnd() float64 { return r.cwndMax }
 
-// MeanCwnd returns the average congestion window across samples
-// (Table 2's "Avg cwnd" row).
+// MeanCwnd returns the average congestion window across all samples
+// offered (Table 2's "Avg cwnd" row). Exact regardless of stride.
 func (r *Recorder) MeanCwnd() float64 {
-	if len(r.Samples) == 0 {
+	if r.total == 0 {
 		return 0
 	}
-	var sum float64
-	for _, s := range r.Samples {
-		sum += s.Cwnd
-	}
-	return sum / float64(len(r.Samples))
+	return r.cwndSum / float64(r.total)
 }

@@ -28,8 +28,19 @@ const (
 // timestamps, rounded).
 const headerBytes = 40
 
+// segPooling gates segment recycling. Tests set it to false to prove
+// pooled and unpooled runs are bit-for-bit identical; production code
+// never touches it.
+var segPooling = true
+
+// SetSegmentPooling enables or disables segment recycling process-wide.
+// It exists solely for determinism tests and must not be toggled while
+// simulations are running on other goroutines.
+func SetSegmentPooling(on bool) { segPooling = on }
+
 // Segment is the unit crossing the emulated path.
 type Segment struct {
+	to      *Conn  // receiving endpoint, set by transmit
 	From    string // sender conn ID, for tracing
 	Flags   int
 	Seq     uint64      // first payload byte

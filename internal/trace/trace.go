@@ -105,11 +105,12 @@ type RetxBurst struct {
 // separated by no more than gap belong to the same burst.
 func FindRetxBursts(rec *tcpsim.Recorder, gap time.Duration) []RetxBurst {
 	var events []tcpsim.ProbeSample
-	for _, s := range rec.Samples {
+	rec.Each(func(s tcpsim.ProbeSample) bool {
 		if s.Event == tcpsim.EvRetransmit || s.Event == tcpsim.EvFastRetx {
 			events = append(events, s)
 		}
-	}
+		return true
+	})
 	sort.Slice(events, func(i, j int) bool { return events[i].At < events[j].At })
 	var bursts []RetxBurst
 	for _, e := range events {
