@@ -39,7 +39,9 @@ func main() {
 		runs     = flag.Int("runs", 5, "seeds per condition")
 		seed     = flag.Uint64("seed", 1, "base seed")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations per sweep (0 = GOMAXPROCS)")
-		cachecap = flag.Int("cachecap", experiment.DefaultCacheCapacity, "max memoized runs held in memory (0 = unbounded)")
+		cachecap = flag.Int("cachecap", -1,
+			"max memoized full runs held in memory (0 = unbounded, -1 = auto: 256, shrinking for large -runs)")
+		progress = flag.Bool("progress", false, "print a live progress/ETA line for long sweeps to stderr")
 		list     = flag.Bool("list", false, "list experiments")
 		har      = flag.String("har", "", "run one session and write its page loads as a HAR archive to this file")
 		mode     = flag.String("mode", "spdy", "protocol for -har runs: http or spdy")
@@ -143,7 +145,21 @@ func main() {
 	}
 
 	experiment.SetParallelism(*parallel)
-	experiment.DefaultRunner().SetCacheCapacity(*cachecap)
+	cacheCap := *cachecap
+	if cacheCap < 0 {
+		// Auto mode: the default capacity is generous for figure-style
+		// small sweeps, but a large -runs sweep would fill it with
+		// hundreds of full Results (~7 MB retained each). The streaming
+		// experiments never need them resident, so squeeze the
+		// full-Result cache hard and let the per-run aggregate cache
+		// carry the scale.
+		cacheCap = experiment.DefaultCacheCapacity
+		if *runs > 48 {
+			cacheCap = 16
+		}
+	}
+	runner := experiment.DefaultRunner()
+	runner.SetCacheCapacity(cacheCap)
 	h := experiment.Harness{Runs: *runs, Seed: *seed}
 	specs := experiment.All()
 	if *exp != "all" {
@@ -155,16 +171,44 @@ func main() {
 		specs = []experiment.Spec{s}
 	}
 	wall := time.Now()
+	if *progress {
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					fmt.Fprintln(os.Stderr)
+					return
+				case <-t.C:
+					runsDone, sd, st := runner.Progress()
+					rate := float64(runsDone) / time.Since(wall).Seconds()
+					eta := "?"
+					if rate > 0 && st >= sd {
+						eta = (time.Duration(float64(st-sd) / rate * float64(time.Second))).Round(time.Second).String()
+					}
+					fmt.Fprintf(os.Stderr, "\rprogress: %d runs done, %.1f runs/s, sweep %d/%d, sweep ETA %-8s",
+						runsDone, rate, sd, st, eta)
+				}
+			}
+		}()
+		defer func() { close(stop); <-done }()
+	}
 	for _, s := range specs {
 		start := time.Now()
 		rep := s.Run(h)
 		fmt.Println(rep.String())
 		fmt.Printf("(%s completed in %v)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
 	}
-	runner := experiment.DefaultRunner()
 	cs := runner.CacheStats()
+	ss := runner.StreamCacheStats()
 	fmt.Printf("total wall clock: %v over %d experiment(s), %d worker(s)\n",
 		time.Since(wall).Round(time.Millisecond), len(specs), runner.Parallelism())
 	fmt.Printf("sweep cache: %d unique condition(s) simulated, %d replayed from cache (%.0f%% hit rate)\n",
 		cs.Misses, cs.Hits, 100*cs.HitRate())
+	fmt.Printf("stream cache: %d per-run aggregate(s), %d replayed (%.0f%% hit rate)\n",
+		ss.Misses, ss.Hits, 100*ss.HitRate())
 }

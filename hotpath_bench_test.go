@@ -34,20 +34,45 @@ func reportBench(name string, metrics map[string]float64) {
 	benchReport.Unlock()
 }
 
+// sweepReport collects the sweep-engine guardrail numbers separately, so
+// BENCH_sweep.json tracks the population-scale path on its own trend
+// line next to BENCH_hotpath.json.
+var sweepReport = struct {
+	sync.Mutex
+	m map[string]map[string]float64
+}{m: map[string]map[string]float64{}}
+
+func reportSweep(name string, metrics map[string]float64) {
+	sweepReport.Lock()
+	sweepReport.m[name] = metrics
+	sweepReport.Unlock()
+}
+
+func writeBenchFile(path string, report *struct {
+	sync.Mutex
+	m map[string]map[string]float64
+}) {
+	report.Lock()
+	defer report.Unlock()
+	if len(report.m) == 0 {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report.m); err != nil {
+		os.Stderr.WriteString(path + ": " + err.Error() + "\n")
+	}
+}
+
 func TestMain(m *testing.M) {
 	code := m.Run()
-	benchReport.Lock()
-	if len(benchReport.m) > 0 {
-		if f, err := os.Create("BENCH_hotpath.json"); err == nil {
-			enc := json.NewEncoder(f)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(benchReport.m); err != nil {
-				os.Stderr.WriteString("BENCH_hotpath.json: " + err.Error() + "\n")
-			}
-			f.Close()
-		}
-	}
-	benchReport.Unlock()
+	writeBenchFile("BENCH_hotpath.json", &benchReport)
+	writeBenchFile("BENCH_sweep.json", &sweepReport)
 	os.Exit(code)
 }
 

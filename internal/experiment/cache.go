@@ -12,6 +12,10 @@ import (
 // field that changes the simulation changes the key. Defaults are applied
 // first, so a zero field and its explicit default collide as they must.
 //
+// LeanProbe does not change the simulation, but it changes how much of
+// the probe trace the Result retains, so it is part of the key: a lean
+// Result must never be replayed to an experiment that walks the trace.
+//
 // Runs configured through Pages have no canonical key (the pages are
 // arbitrary pointers, not declarative specs) and return ok == false:
 // such runs are never memoized.
@@ -25,8 +29,8 @@ func CacheKey(opts Options) (key string, ok bool) {
 	fmt.Fprintf(&b, "|ping=%t,%d,%d", o.PingKeepalive, o.PingInterval, o.PingBytes)
 	fmt.Fprintf(&b, "|ssai_off=%t|rttreset=%t|cc=%s|nomcache=%t",
 		o.SlowStartAfterIdleOff, o.ResetRTTAfterIdle, o.CC, o.NoMetricsCache)
-	fmt.Fprintf(&b, "|sess=%d|latebind=%t|pipe=%t|nobeacons=%t|fastorigin=%t|noundo=%t",
-		o.SPDYSessions, o.SPDYLateBinding, o.Pipelining, o.NoBeacons, o.FastOrigin, o.DisableUndo)
+	fmt.Fprintf(&b, "|sess=%d|latebind=%t|pipe=%t|nobeacons=%t|fastorigin=%t|noundo=%t|lean=%t",
+		o.SPDYSessions, o.SPDYLateBinding, o.Pipelining, o.NoBeacons, o.FastOrigin, o.DisableUndo, o.LeanProbe)
 	fmt.Fprintf(&b, "|sample=%d|pstride=%d|sites=", o.SampleEvery, o.ProbeStride)
 	for _, s := range o.Sites {
 		fmt.Fprintf(&b, "[%d,%s,%g,%g,%g,%g,%g,%g]",
@@ -57,39 +61,53 @@ func (s CacheStats) HitRate() float64 {
 // the baseline conditions every experiment re-sweeps stay resident.
 const DefaultCacheCapacity = 256
 
-// resultCache memoizes completed runs by canonical Options key, evicting
+// DefaultStatsCacheCapacity bounds the per-run aggregate (RunStats)
+// cache. Entries are a few hundred bytes — roughly four orders of
+// magnitude smaller than a full Result — so the streaming sweep path can
+// afford to remember far more conditions than the Result cache.
+const DefaultStatsCacheCapacity = 1 << 16
+
+// memoCache memoizes computed values by canonical Options key, evicting
 // least-recently-used entries beyond capacity. Safe for concurrent use;
-// concurrent lookups of the same key run the simulation exactly once
+// concurrent lookups of the same key run the computation exactly once
 // (the losers block until the winner finishes).
-type resultCache struct {
+type memoCache[V any] struct {
 	mu      sync.Mutex
-	entries map[string]*cacheEntry
+	entries map[string]*memoEntry[V]
 	cap     int    // max retained entries; <= 0 means unbounded
 	tick    uint64 // LRU clock
 	hits    atomic.Uint64
 	misses  atomic.Uint64
 }
 
-type cacheEntry struct {
+type memoEntry[V any] struct {
 	once    sync.Once
-	res     *Result
-	lastUse uint64 // guarded by resultCache.mu
+	done    atomic.Bool // set after once completes; lets peek skip in-flight entries
+	val     V
+	lastUse uint64 // guarded by memoCache.mu
 }
+
+func newMemoCache[V any](capacity int) *memoCache[V] {
+	return &memoCache[V]{entries: make(map[string]*memoEntry[V], 16), cap: capacity}
+}
+
+// resultCache memoizes full simulation Results.
+type resultCache = memoCache[*Result]
 
 func newResultCache(capacity int) *resultCache {
-	return &resultCache{entries: make(map[string]*cacheEntry), cap: capacity}
+	return newMemoCache[*Result](capacity)
 }
 
-// getOrRun returns the memoized result for key, computing it with run on
+// getOrRun returns the memoized value for key, computing it with run on
 // the first lookup.
-func (c *resultCache) getOrRun(key string, run func() *Result) *Result {
+func (c *memoCache[V]) getOrRun(key string, run func() V) V {
 	c.mu.Lock()
 	e, hit := c.entries[key]
 	if !hit {
 		if c.cap > 0 && len(c.entries) >= c.cap {
 			c.evictLRU()
 		}
-		e = &cacheEntry{}
+		e = &memoEntry[V]{}
 		c.entries[key] = e
 	}
 	c.tick++
@@ -100,14 +118,34 @@ func (c *resultCache) getOrRun(key string, run func() *Result) *Result {
 	} else {
 		c.misses.Add(1)
 	}
-	e.once.Do(func() { e.res = run() })
-	return e.res
+	e.once.Do(func() {
+		e.val = run()
+		e.done.Store(true)
+	})
+	return e.val
+}
+
+// peek returns the completed value for key without computing anything.
+// In-flight entries are skipped rather than waited on.
+func (c *memoCache[V]) peek(key string) (V, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.tick++
+		e.lastUse = c.tick
+	}
+	c.mu.Unlock()
+	if ok && e.done.Load() {
+		return e.val, true
+	}
+	var zero V
+	return zero, false
 }
 
 // evictLRU drops the least-recently-used entry. Caller holds mu. An
 // in-flight entry may be evicted; its waiters keep their pointer and
 // finish normally, the result just is not reused.
-func (c *resultCache) evictLRU() {
+func (c *memoCache[V]) evictLRU() {
 	var victim string
 	var oldest uint64
 	for k, e := range c.entries {
@@ -119,21 +157,21 @@ func (c *resultCache) evictLRU() {
 }
 
 // stats returns a snapshot of the hit/miss counters.
-func (c *resultCache) stats() CacheStats {
+func (c *memoCache[V]) stats() CacheStats {
 	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
 }
 
-// reset drops all memoized results and zeroes the counters.
-func (c *resultCache) reset() {
+// reset drops all memoized values and zeroes the counters.
+func (c *memoCache[V]) reset() {
 	c.mu.Lock()
-	c.entries = make(map[string]*cacheEntry)
+	c.entries = make(map[string]*memoEntry[V])
 	c.mu.Unlock()
 	c.hits.Store(0)
 	c.misses.Store(0)
 }
 
 // len reports the number of memoized (or in-flight) conditions.
-func (c *resultCache) len() int {
+func (c *memoCache[V]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)

@@ -31,9 +31,9 @@ func runFig14(h Harness) *Report {
 	retxs := map[cond]float64{}
 	energy := map[cond]float64{}
 	for _, c := range conds {
-		results := sweep(h, Options{Mode: c.mode, Network: Net3G, PingKeepalive: c.ping})
-		cdfs[c] = stats.NewCDF(allPLTs(results))
-		retxs[c] = meanRetx(results)
+		results := sweepStats(h, Options{Mode: c.mode, Network: Net3G, PingKeepalive: c.ping})
+		cdfs[c] = stats.NewCDF(allPLTStats(results))
+		retxs[c] = meanRetxStats(results)
 		var e float64
 		for _, res := range results {
 			e += res.RadioMJ
@@ -76,9 +76,9 @@ func runFig15(h Harness) *Report {
 	r := NewReport("fig15", "Page load times with & w/o tcp_slow_start_after_idle",
 		"benefits vary across sites; outstanding data similar; with the parameter off, cwnd can grow so large the receive window becomes the bottleneck")
 	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
-		on := sweep(h, Options{Mode: mode, Network: Net3G})
-		off := sweep(h, Options{Mode: mode, Network: Net3G, SlowStartAfterIdleOff: true})
-		onSite, offSite := pltBySite(on), pltBySite(off)
+		on := sweepStats(h, Options{Mode: mode, Network: Net3G})
+		off := sweepStats(h, Options{Mode: mode, Network: Net3G, SlowStartAfterIdleOff: true})
+		onSite, offSite := pltBySiteStats(on), pltBySiteStats(off)
 		r.Printf("-- %s: relative PLT difference, negative = disabling helps --", mode)
 		neg, pos := 0, 0
 		for site := 1; site <= 20; site++ {
@@ -106,8 +106,8 @@ func runFig15(h Harness) *Report {
 		}
 		r.Metric(string(mode)+" sites helped by disabling", float64(neg), "sites")
 		r.Metric(string(mode)+" sites hurt by disabling", float64(pos), "sites")
-		r.Metric(string(mode)+" mean PLT enabled", stats.Mean(allPLTs(on)), "s")
-		r.Metric(string(mode)+" mean PLT disabled", stats.Mean(allPLTs(off)), "s")
+		r.Metric(string(mode)+" mean PLT enabled", stats.Mean(allPLTStats(on)), "s")
+		r.Metric(string(mode)+" mean PLT disabled", stats.Mean(allPLTStats(off)), "s")
 	}
 	return r
 }
@@ -119,21 +119,21 @@ func runRTTReset(h Harness) *Report {
 	r := NewReport("rttreset", "Resetting the RTT estimate after idle (§6.2.1)",
 		"initial RTO (multiple seconds) exceeds the promotion delay ⇒ no spurious timeout after idle ⇒ cwnd grows rapidly, page load times drop; SPDY benefits most (the paper proposes but does not measure this)")
 	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
-		base := sweep(h, Options{Mode: mode, Network: Net3G})
-		fix := sweep(h, Options{Mode: mode, Network: Net3G, ResetRTTAfterIdle: true})
-		bm, fm := stats.Mean(allPLTs(base)), stats.Mean(allPLTs(fix))
+		base := sweepStats(h, Options{Mode: mode, Network: Net3G})
+		fix := sweepStats(h, Options{Mode: mode, Network: Net3G, ResetRTTAfterIdle: true})
+		bm, fm := stats.Mean(allPLTStats(base)), stats.Mean(allPLTStats(fix))
 		r.Metric(string(mode)+" mean PLT baseline", bm, "s")
 		r.Metric(string(mode)+" mean PLT with RTT reset", fm, "s")
 		r.Metric(string(mode)+" PLT improvement", 100*(bm-fm)/bm, "%")
-		r.Metric(string(mode)+" retx baseline", meanRetx(base), "retx")
-		r.Metric(string(mode)+" retx with RTT reset", meanRetx(fix), "retx")
+		r.Metric(string(mode)+" retx baseline", meanRetxStats(base), "retx")
+		r.Metric(string(mode)+" retx with RTT reset", meanRetxStats(fix), "retx")
 	}
 	r.Printf("ablation: on a stack whose DSACK undo is ineffective (the damage the paper")
 	r.Printf("observed persisting in Figure 12), the fix's PLT benefit is much larger:")
 	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
-		base := sweep(h, Options{Mode: mode, Network: Net3G, DisableUndo: true})
-		fix := sweep(h, Options{Mode: mode, Network: Net3G, DisableUndo: true, ResetRTTAfterIdle: true})
-		bm, fm := stats.Mean(allPLTs(base)), stats.Mean(allPLTs(fix))
+		base := sweepStats(h, Options{Mode: mode, Network: Net3G, DisableUndo: true})
+		fix := sweepStats(h, Options{Mode: mode, Network: Net3G, DisableUndo: true, ResetRTTAfterIdle: true})
+		bm, fm := stats.Mean(allPLTStats(base)), stats.Mean(allPLTStats(fix))
 		r.Metric(string(mode)+" mean PLT baseline (no undo)", bm, "s")
 		r.Metric(string(mode)+" mean PLT with RTT reset (no undo)", fm, "s")
 		r.Metric(string(mode)+" PLT improvement (no undo)", 100*(bm-fm)/bm, "%")
@@ -146,12 +146,12 @@ func runMetricsCache(h Harness) *Report {
 	r := NewReport("metricscache", "Disabling TCP metrics caching (§6.2.4)",
 		"both HTTP and SPDY load pages faster with caching disabled (~35% improvement for half the runs); little to distinguish the protocols")
 	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
-		on := sweep(h, Options{Mode: mode, Network: Net3G})
-		off := sweep(h, Options{Mode: mode, Network: Net3G, NoMetricsCache: true})
-		om, fm := stats.Mean(allPLTs(on)), stats.Mean(allPLTs(off))
+		on := sweepStats(h, Options{Mode: mode, Network: Net3G})
+		off := sweepStats(h, Options{Mode: mode, Network: Net3G, NoMetricsCache: true})
+		om, fm := stats.Mean(allPLTStats(on)), stats.Mean(allPLTStats(off))
 		// Paired per-page improvement distribution.
 		var imps []float64
-		onAll, offAll := allPLTs(on), allPLTs(off)
+		onAll, offAll := allPLTStats(on), allPLTStats(off)
 		for i := range onAll {
 			if i < len(offAll) && onAll[i] > 0 {
 				imps = append(imps, 100*(onAll[i]-offAll[i])/onAll[i])
@@ -170,13 +170,13 @@ func runMetricsCache(h Harness) *Report {
 func runMultiConn(h Harness) *Report {
 	r := NewReport("multiconn", "SPDY over 20 connections (§6.1)",
 		"multiple connections do not improve SPDY page load times: early binding pins requests to stalled connections; late binding would be needed")
-	one := sweep(h, Options{Mode: browser.ModeSPDY, Network: Net3G, SPDYSessions: 1})
-	twenty := sweep(h, Options{Mode: browser.ModeSPDY, Network: Net3G, SPDYSessions: 20})
-	om, tm := stats.Mean(allPLTs(one)), stats.Mean(allPLTs(twenty))
+	one := sweepStats(h, Options{Mode: browser.ModeSPDY, Network: Net3G, SPDYSessions: 1})
+	twenty := sweepStats(h, Options{Mode: browser.ModeSPDY, Network: Net3G, SPDYSessions: 20})
+	om, tm := stats.Mean(allPLTStats(one)), stats.Mean(allPLTStats(twenty))
 	r.Metric("SPDY mean PLT, 1 session", om, "s")
 	r.Metric("SPDY mean PLT, 20 sessions", tm, "s")
 	r.Metric("relative change (positive = 20 sessions worse)", stats.RelDiff(tm, om), "%")
-	r.Metric("retx/run, 1 session", meanRetx(one), "retx")
-	r.Metric("retx/run, 20 sessions", meanRetx(twenty), "retx")
+	r.Metric("retx/run, 1 session", meanRetxStats(one), "retx")
+	r.Metric("retx/run, 20 sessions", meanRetxStats(twenty), "retx")
 	return r
 }

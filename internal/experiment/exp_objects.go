@@ -21,10 +21,12 @@ func runFig5(h Harness) *Report {
 	r := NewReport("fig5", "Object download time split",
 		"HTTP: large init (handshake or pool wait); SPDY: near-zero init but wait far larger, negating the setup savings; send ≈0 for both")
 	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
-		results := sweep(h, Options{Mode: mode, Network: Net3G})
 		perSite := make(map[int][4]float64)
 		counts := make(map[int]int)
-		for _, res := range results {
+		// Full Results are needed (per-object phase splits), so stream
+		// them through SweepEach: seed order in, released after folding —
+		// identical accumulation order to the old sweep, bounded memory.
+		sweepEach(h, Options{Mode: mode, Network: Net3G}, func(res *Result) {
 			for i, rec := range res.Records {
 				if rec == nil {
 					continue
@@ -43,7 +45,7 @@ func runFig5(h Harness) *Report {
 				}
 				perSite[site] = acc
 			}
-		}
+		})
 		r.Printf("-- %s --", mode)
 		r.Printf("%-5s %10s %10s %10s %10s  (avg per object, ms)", "site", "init", "send", "wait", "recv")
 		var tInit, tWait, tRecv, tN float64

@@ -15,9 +15,9 @@ func init() {
 
 // boxPerSite renders per-site box plots for both protocols and counts
 // who wins at the median.
-func boxPerSite(r *Report, httpRes, spdyRes []*Result) (httpWins, spdyWins, ties int) {
-	httpSite := pltBySite(httpRes)
-	spdySite := pltBySite(spdyRes)
+func boxPerSite(r *Report, httpRes, spdyRes []*RunStats) (httpWins, spdyWins, ties int) {
+	httpSite := pltBySiteStats(httpRes)
+	spdySite := pltBySiteStats(spdyRes)
 
 	sites := make([]int, 0, len(httpSite))
 	for s := range httpSite {
@@ -44,18 +44,18 @@ func boxPerSite(r *Report, httpRes, spdyRes []*Result) (httpWins, spdyWins, ties
 			s, hb.Min, hb.Q1, hb.Median, hb.Q3, hb.Max, hb.Mean,
 			sb.Min, sb.Q1, sb.Median, sb.Q3, sb.Max, sb.Mean, win)
 	}
-	r.Metric("HTTP mean PLT", stats.Mean(allPLTs(httpRes)), "s")
-	r.Metric("SPDY mean PLT", stats.Mean(allPLTs(spdyRes)), "s")
-	r.Metric("HTTP mean retransmissions/run", meanRetx(httpRes), "retx")
-	r.Metric("SPDY mean retransmissions/run", meanRetx(spdyRes), "retx")
+	r.Metric("HTTP mean PLT", stats.Mean(allPLTStats(httpRes)), "s")
+	r.Metric("SPDY mean PLT", stats.Mean(allPLTStats(spdyRes)), "s")
+	r.Metric("HTTP mean retransmissions/run", meanRetxStats(httpRes), "retx")
+	r.Metric("SPDY mean retransmissions/run", meanRetxStats(spdyRes), "retx")
 	return httpWins, spdyWins, ties
 }
 
 func runFig3(h Harness) *Report {
 	r := NewReport("fig3", "Page load time, HTTP vs SPDY over 3G",
 		"no convincing winner: SPDY better on some sites (3,7), HTTP on others (1,4), most similar")
-	httpRes := sweep(h, Options{Mode: browser.ModeHTTP, Network: Net3G})
-	spdyRes := sweep(h, Options{Mode: browser.ModeSPDY, Network: Net3G})
+	httpRes := sweepStats(h, Options{Mode: browser.ModeHTTP, Network: Net3G})
+	spdyRes := sweepStats(h, Options{Mode: browser.ModeSPDY, Network: Net3G})
 	hw, sw, ties := boxPerSite(r, httpRes, spdyRes)
 	r.Metric("sites where HTTP wins at median", float64(hw), "sites")
 	r.Metric("sites where SPDY wins at median", float64(sw), "sites")
@@ -66,10 +66,10 @@ func runFig3(h Harness) *Report {
 func runFig4(h Harness) *Report {
 	r := NewReport("fig4", "Page load time over 802.11g/broadband",
 		"SPDY consistently better: 4% (site 4) to 56% (site 9) improvement")
-	httpRes := sweep(h, Options{Mode: browser.ModeHTTP, Network: NetWiFi})
-	spdyRes := sweep(h, Options{Mode: browser.ModeSPDY, Network: NetWiFi})
-	httpSite := pltBySite(httpRes)
-	spdySite := pltBySite(spdyRes)
+	httpRes := sweepStats(h, Options{Mode: browser.ModeHTTP, Network: NetWiFi})
+	spdyRes := sweepStats(h, Options{Mode: browser.ModeSPDY, Network: NetWiFi})
+	httpSite := pltBySiteStats(httpRes)
+	spdySite := pltBySiteStats(spdyRes)
 
 	sites := make([]int, 0, len(httpSite))
 	for s := range httpSite {
@@ -92,19 +92,22 @@ func runFig4(h Harness) *Report {
 	}
 	r.Metric("sites where SPDY is faster", float64(better), "of 20")
 	if len(improvements) > 0 {
-		r.Metric("min SPDY improvement", stats.Quantile(improvements, 0), "%")
-		r.Metric("max SPDY improvement", stats.Quantile(improvements, 1), "%")
+		// Sorted-once multi-quantile path; bit-identical to two
+		// Quantile calls.
+		qs := stats.Quantiles(improvements, 0, 1)
+		r.Metric("min SPDY improvement", qs[0], "%")
+		r.Metric("max SPDY improvement", qs[1], "%")
 	}
-	r.Metric("HTTP mean PLT", stats.Mean(allPLTs(httpRes)), "s")
-	r.Metric("SPDY mean PLT", stats.Mean(allPLTs(spdyRes)), "s")
+	r.Metric("HTTP mean PLT", stats.Mean(allPLTStats(httpRes)), "s")
+	r.Metric("SPDY mean PLT", stats.Mean(allPLTStats(spdyRes)), "s")
 	return r
 }
 
 func runFig16(h Harness) *Report {
 	r := NewReport("fig16", "Page load time, HTTP vs SPDY over LTE",
 		"both much faster than 3G; HTTP as good as SPDY initially, SPDY better after first pages; retx 8.9 (HTTP) vs 7.52 (SPDY)")
-	httpRes := sweep(h, Options{Mode: browser.ModeHTTP, Network: NetLTE})
-	spdyRes := sweep(h, Options{Mode: browser.ModeSPDY, Network: NetLTE})
+	httpRes := sweepStats(h, Options{Mode: browser.ModeHTTP, Network: NetLTE})
+	spdyRes := sweepStats(h, Options{Mode: browser.ModeSPDY, Network: NetLTE})
 	hw, sw, ties := boxPerSite(r, httpRes, spdyRes)
 	r.Metric("sites where HTTP wins at median", float64(hw), "sites")
 	r.Metric("sites where SPDY wins at median", float64(sw), "sites")
@@ -113,10 +116,10 @@ func runFig16(h Harness) *Report {
 	// The paper notes SPDY pulls ahead after the first few pages once the
 	// session's window has grown; compare mean PLT over the first five
 	// visits to the rest.
-	firstLast := func(results []*Result) (first, rest float64) {
+	firstLast := func(results []*RunStats) (first, rest float64) {
 		var f, l []float64
 		for _, res := range results {
-			plts := res.PLTSeconds()
+			plts := res.PLTs
 			k := 5
 			if k > len(plts) {
 				k = len(plts)

@@ -65,14 +65,15 @@ func runFig9(h Harness) *Report {
 	series := make(map[browser.Mode]*stats.BinSeries)
 	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
 		agg := stats.NewBinSeries(1.0)
-		results := sweep(h, Options{Mode: mode, Network: Net3G})
-		for _, res := range results {
+		// Streamed in seed order via SweepEach: the bin accumulation
+		// order matches the old store-everything sweep bit-for-bit.
+		sweepEach(h, Options{Mode: mode, Network: Net3G}, func(res *Result) {
 			s := res.ThroughputSeries()
 			for i, v := range s.Bins {
 				agg.Add(float64(i), v)
 			}
-		}
-		agg.MeanOver(len(results))
+		})
+		agg.MeanOver(h.Runs)
 		series[mode] = agg
 	}
 

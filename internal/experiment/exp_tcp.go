@@ -7,7 +7,6 @@ import (
 	"spdier/internal/browser"
 	"spdier/internal/stats"
 	"spdier/internal/tcpsim"
-	"spdier/internal/trace"
 )
 
 func init() {
@@ -187,39 +186,20 @@ func runFig12(h Harness) *Report {
 func runFig13(h Harness) *Report {
 	r := NewReport("fig13", "Retransmission bursts",
 		"HTTP: 117.3 retx/run but 2.9 per connection over 42.6 concurrent connections — bursts hit one stream while others proceed; SPDY: 67.3 retx all on the single connection")
-	httpRes := sweep(h, Options{Mode: browser.ModeHTTP, Network: Net3G})
-	spdyRes := sweep(h, Options{Mode: browser.ModeSPDY, Network: Net3G})
+	httpRes := sweepStats(h, Options{Mode: browser.ModeHTTP, Network: Net3G})
+	spdyRes := sweepStats(h, Options{Mode: browser.ModeSPDY, Network: Net3G})
 
-	r.Metric("HTTP mean retransmissions/run", meanRetx(httpRes), "retx")
-	r.Metric("SPDY mean retransmissions/run", meanRetx(spdyRes), "retx")
+	r.Metric("HTTP mean retransmissions/run", meanRetxStats(httpRes), "retx")
+	r.Metric("SPDY mean retransmissions/run", meanRetxStats(spdyRes), "retx")
 
 	// Per-connection spread for HTTP and burst locality.
 	var perConn, conns, singleFrac []float64
-	for _, res := range httpRes {
-		byConn := map[string]int{}
-		res.Recorder.Each(func(s tcpsim.ProbeSample) bool {
-			if s.Event == tcpsim.EvRetransmit || s.Event == tcpsim.EvFastRetx {
-				byConn[s.ConnID]++
-			}
-			return true
-		})
-		total := 0
-		for _, n := range byConn {
-			total += n
+	for _, rs := range httpRes {
+		if rs.RetxConns > 0 {
+			perConn = append(perConn, rs.RetxPerConn)
 		}
-		if len(byConn) > 0 {
-			perConn = append(perConn, float64(total)/float64(len(byConn)))
-		}
-		bursts := trace.FindRetxBursts(res.Recorder, 500*time.Millisecond)
-		singleFrac = append(singleFrac, trace.SingleConnBurstFraction(bursts))
-		// Peak concurrent connections.
-		peak := 0
-		for _, s := range res.Samples {
-			if s.ActiveConns > peak {
-				peak = s.ActiveConns
-			}
-		}
-		conns = append(conns, float64(peak))
+		singleFrac = append(singleFrac, rs.SingleConnBurstFrac)
+		conns = append(conns, float64(rs.PeakConns))
 	}
 	r.Metric("HTTP retx per affected connection", stats.Mean(perConn), "retx/conn")
 	r.Metric("HTTP peak concurrent connections", stats.Mean(conns), "conns")
@@ -227,24 +207,9 @@ func runFig13(h Harness) *Report {
 
 	// SPDY concentration: share of retransmissions on the busiest conn.
 	var topShare []float64
-	for _, res := range spdyRes {
-		byConn := map[string]int{}
-		total := 0
-		res.Recorder.Each(func(s tcpsim.ProbeSample) bool {
-			if s.Event == tcpsim.EvRetransmit || s.Event == tcpsim.EvFastRetx {
-				byConn[s.ConnID]++
-				total++
-			}
-			return true
-		})
-		top := 0
-		for _, n := range byConn {
-			if n > top {
-				top = n
-			}
-		}
-		if total > 0 {
-			topShare = append(topShare, float64(top)/float64(total))
+	for _, rs := range spdyRes {
+		if rs.RetxConns > 0 {
+			topShare = append(topShare, rs.TopConnRetxShare)
 		}
 	}
 	r.Metric("SPDY retx share on single connection", stats.Mean(topShare), "frac")
@@ -286,28 +251,20 @@ func runTable2(h Harness) *Report {
 	cells := map[string]cell{}
 	for _, cc := range []string{"reno", "cubic"} {
 		for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
-			results := sweep(h, Options{Mode: mode, Network: Net3G, CC: cc})
+			results := sweepStats(h, Options{Mode: mode, Network: Net3G, CC: cc})
 			var plts []float64
 			var avgTp, maxTp, avgCw, maxCw float64
-			for _, res := range results {
-				plts = append(plts, res.PLTSeconds()...)
-				s := res.ThroughputSeries()
-				var sum, n float64
-				for _, v := range s.Bins {
-					if v > 0 {
-						sum += v
-						n++
-						if v > maxTp {
-							maxTp = v
-						}
-					}
+			for _, rs := range results {
+				plts = append(plts, rs.PLTs...)
+				if rs.TpHasPos {
+					avgTp += rs.TpAvgBps
 				}
-				if n > 0 {
-					avgTp += sum / n
+				if rs.TpMaxBps > maxTp {
+					maxTp = rs.TpMaxBps
 				}
-				avgCw += res.Recorder.MeanCwnd()
-				if m := res.Recorder.MaxCwnd(); m > maxCw {
-					maxCw = m
+				avgCw += rs.MeanCwnd
+				if rs.MaxCwnd > maxCw {
+					maxCw = rs.MaxCwnd
 				}
 			}
 			n := float64(len(results))

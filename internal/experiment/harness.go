@@ -88,6 +88,14 @@ type Options struct {
 	// (DefaultProbeStride); 1 retains everything. Rare events and all
 	// aggregate statistics are unaffected — see tcpsim.Recorder.
 	ProbeStride int
+
+	// LeanProbe retains only rare tcp_probe events (no bulk ack/send
+	// samples at all). The simulation itself is unchanged — aggregate
+	// counters, retransmission ledgers and burst analysis stay exact —
+	// but figure-style cwnd/trace walks see no bulk samples. The
+	// streaming sweep path sets this so aggregate-only runs never
+	// materialize the columnar trace.
+	LeanProbe bool
 }
 
 // defaultProbeStride is the bulk-sample downsampling applied when
@@ -262,7 +270,12 @@ func Run(opts Options) *Result {
 	rng := sim.NewRNG(opts.Seed)
 	net, radio := buildNetwork(loop, opts.Network, rng)
 
-	rec := tcpsim.NewRecorderStride(opts.ProbeStride)
+	var rec *tcpsim.Recorder
+	if opts.LeanProbe {
+		rec = tcpsim.NewRecorderRareOnly()
+	} else {
+		rec = tcpsim.NewRecorderStride(opts.ProbeStride)
+	}
 	ocfg := proxy.DefaultOriginConfig()
 	if opts.FastOrigin {
 		ocfg = proxy.FastOriginConfig()

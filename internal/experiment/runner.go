@@ -9,6 +9,7 @@ package experiment
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Runner executes runs and sweeps through a bounded worker pool and a
@@ -17,7 +18,16 @@ import (
 type Runner struct {
 	parallel int
 	cache    *resultCache
+	stats    *memoCache[*RunStats]
 	sem      chan struct{}
+
+	// Progress counters for long sweeps (-progress in cmd/spdysim).
+	// runsDone counts every completed run over the runner's lifetime;
+	// sweepDone/sweepTotal track the sweep currently in flight (the
+	// registered experiments run their sweeps sequentially).
+	runsDone   atomic.Uint64
+	sweepDone  atomic.Uint64
+	sweepTotal atomic.Uint64
 }
 
 // NewRunner returns a Runner executing at most parallel simulations at
@@ -29,8 +39,27 @@ func NewRunner(parallel int) *Runner {
 	return &Runner{
 		parallel: parallel,
 		cache:    newResultCache(DefaultCacheCapacity),
+		stats:    newMemoCache[*RunStats](DefaultStatsCacheCapacity),
 		sem:      make(chan struct{}, parallel),
 	}
+}
+
+// beginSweep resets the current-sweep progress counters.
+func (r *Runner) beginSweep(total int) {
+	r.sweepTotal.Store(uint64(total))
+	r.sweepDone.Store(0)
+}
+
+// noteRun records one completed run for progress reporting.
+func (r *Runner) noteRun() {
+	r.runsDone.Add(1)
+	r.sweepDone.Add(1)
+}
+
+// Progress reports lifetime completed runs plus the current sweep's
+// done/total counters.
+func (r *Runner) Progress() (done, sweepDone, sweepTotal uint64) {
+	return r.runsDone.Load(), r.sweepDone.Load(), r.sweepTotal.Load()
 }
 
 // SetCacheCapacity bounds how many Results the runner retains
@@ -45,14 +74,26 @@ func (r *Runner) SetCacheCapacity(n int) {
 // Parallelism reports the worker-pool bound.
 func (r *Runner) Parallelism() int { return r.parallel }
 
-// CacheStats snapshots the cache hit/miss counters.
+// CacheStats snapshots the full-Result cache hit/miss counters.
 func (r *Runner) CacheStats() CacheStats { return r.cache.stats() }
 
 // CachedConditions reports how many distinct conditions are memoized.
 func (r *Runner) CachedConditions() int { return r.cache.len() }
 
-// ResetCache drops all memoized results and zeroes the counters.
-func (r *Runner) ResetCache() { r.cache.reset() }
+// StreamCacheStats snapshots the per-run aggregate (RunStats) cache
+// counters used by the streaming sweep path.
+func (r *Runner) StreamCacheStats() CacheStats { return r.stats.stats() }
+
+// StreamCachedConditions reports how many per-run aggregates are
+// memoized.
+func (r *Runner) StreamCachedConditions() int { return r.stats.len() }
+
+// ResetCache drops all memoized results and aggregates and zeroes the
+// counters.
+func (r *Runner) ResetCache() {
+	r.cache.reset()
+	r.stats.reset()
+}
 
 // Run executes (or replays from cache) one measurement run. Results are
 // memoized by CacheKey, so callers must treat them as immutable; runs
@@ -71,11 +112,13 @@ func (r *Runner) Run(opts Options) *Result {
 // sweep regardless of parallelism.
 func (r *Runner) Sweep(h Harness, base Options) []*Result {
 	out := make([]*Result, h.Runs)
+	r.beginSweep(h.Runs)
 	if h.Runs <= 1 || r.parallel <= 1 {
 		for i := range out {
 			opts := base
 			opts.Seed = h.Seed + uint64(i)
 			out[i] = r.Run(opts)
+			r.noteRun()
 		}
 		return out
 	}
@@ -89,6 +132,7 @@ func (r *Runner) Sweep(h Harness, base Options) []*Result {
 			r.sem <- struct{}{}
 			defer func() { <-r.sem }()
 			out[i] = r.Run(opts)
+			r.noteRun()
 		}(i, opts)
 	}
 	wg.Wait()
@@ -104,13 +148,14 @@ var (
 )
 
 // SetParallelism replaces the shared runner's worker-pool bound
-// (n <= 0 selects GOMAXPROCS). The shared cache is kept.
+// (n <= 0 selects GOMAXPROCS). The shared caches are kept.
 func SetParallelism(n int) {
 	defaultRunnerMu.Lock()
 	defer defaultRunnerMu.Unlock()
 	old := defaultRunner
 	defaultRunner = NewRunner(n)
 	defaultRunner.cache = old.cache
+	defaultRunner.stats = old.stats
 }
 
 // DefaultRunner returns the shared runner.
@@ -123,6 +168,24 @@ func DefaultRunner() *Runner {
 // sweep runs one condition across h.Runs seeds on the shared runner.
 func sweep(h Harness, base Options) []*Result {
 	return DefaultRunner().Sweep(h, base)
+}
+
+// sweepStats runs one condition across h.Runs seeds on the shared
+// runner, returning per-run aggregates instead of full Results.
+func sweepStats(h Harness, base Options) []*RunStats {
+	return DefaultRunner().SweepStats(h, base)
+}
+
+// sweepEach streams one condition's full Results through fn in seed
+// order on the shared runner.
+func sweepEach(h Harness, base Options, fn func(*Result)) {
+	DefaultRunner().SweepEach(h, base, fn)
+}
+
+// sweepStream folds one condition's runs into mergeable shard
+// accumulators on the shared runner.
+func sweepStream(h Harness, base Options, newShard func() Folder) Folder {
+	return DefaultRunner().SweepStream(h, base, newShard)
 }
 
 // cachedRun executes one memoized run on the shared runner.

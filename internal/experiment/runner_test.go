@@ -58,6 +58,7 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 		"nobeacons":  {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, NoBeacons: true},
 		"fastorigin": {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, FastOrigin: true},
 		"noundo":     {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, DisableUndo: true},
+		"lean":       {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, LeanProbe: true},
 		"sample":     {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, SampleEvery: time.Second},
 		"pstride":    {Mode: browser.ModeHTTP, Network: Net3G, Seed: 7, ProbeStride: 2},
 	}

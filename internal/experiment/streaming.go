@@ -1,0 +1,331 @@
+// Streaming sweep engine: the bounded-memory counterpart of Sweep.
+//
+// A full Result retains a probe trace, telemetry samples and the page
+// graph (~2 MB per condition even after the columnar squeeze), so the
+// store-everything sweep caps how many simulated users fit in memory.
+// The streaming path distills each finished run into a RunStats — a few
+// hundred bytes of exact per-run aggregates — and releases the Result
+// immediately. RunStats still carries the per-run PLT vector (~20
+// floats), so experiments reconstruct their flat sample vectors in seed
+// order and every downstream statistic is bit-identical to the
+// store-everything path; what is dropped is only the bulky machinery no
+// converted experiment reads.
+package experiment
+
+import (
+	"sync"
+	"time"
+
+	"spdier/internal/tcpsim"
+	"spdier/internal/trace"
+)
+
+// RunStats is the bounded-size distillation of one Result: everything
+// the sweep-style experiments aggregate across runs, and nothing else.
+// All fields are exact — identical whether derived from a full-trace or
+// a lean (rare-only probe) Result.
+type RunStats struct {
+	Seed uint64
+
+	// PLTs holds page load times in seconds, in visit order, skipping
+	// incomplete pages; Sites holds the matching 1-based Table 1 site
+	// index per entry. Concatenating PLTs across runs in seed order
+	// reproduces the store-everything sample vectors bit-for-bit.
+	PLTs  []float64
+	Sites []int
+
+	Incomplete int
+	Retx       int
+	Spurious   int
+	RadioMJ    float64
+	DurationS  float64
+
+	// Probe aggregates (Table 2, Figure 13).
+	MeanCwnd float64
+	MaxCwnd  float64
+	// RetxConns counts connections with at least one retransmission;
+	// RetxPerConn and TopConnRetxShare are meaningful when it is > 0.
+	RetxConns           int
+	RetxPerConn         float64
+	TopConnRetxShare    float64
+	SingleConnBurstFrac float64
+
+	// Telemetry aggregates (Figure 13, Table 2).
+	PeakConns int
+	// TpAvgBps is the mean of the positive 1-second throughput bins
+	// (valid when TpHasPos); TpMaxBps is their maximum.
+	TpAvgBps float64
+	TpHasPos bool
+	TpMaxBps float64
+}
+
+// retxBurstWindow is the clustering window Figure 13 uses.
+const retxBurstWindow = 500 * time.Millisecond
+
+// NewRunStats distills a Result. The derivations repeat the experiments'
+// own per-run loops exactly, so converted experiments report
+// bit-identically to their store-everything versions.
+func NewRunStats(res *Result) *RunStats {
+	rs := &RunStats{
+		Seed:       res.Opts.Seed,
+		Incomplete: res.Incomplete,
+		RadioMJ:    res.RadioMJ,
+		DurationS:  res.Duration.Seconds(),
+	}
+	for i, rec := range res.Records {
+		if rec == nil {
+			continue
+		}
+		rs.Sites = append(rs.Sites, res.VisitOrder[i]+1)
+		rs.PLTs = append(rs.PLTs, rec.PLT().Seconds())
+	}
+	if res.Recorder != nil {
+		rs.Retx = res.Recorder.Retransmissions()
+		rs.Spurious = res.Recorder.SpuriousRetransmissions()
+		rs.MeanCwnd = res.Recorder.MeanCwnd()
+		rs.MaxCwnd = res.Recorder.MaxCwnd()
+		byConn := map[string]int{}
+		res.Recorder.Each(func(s tcpsim.ProbeSample) bool {
+			if s.Event == tcpsim.EvRetransmit || s.Event == tcpsim.EvFastRetx {
+				byConn[s.ConnID]++
+			}
+			return true
+		})
+		total, top := 0, 0
+		for _, n := range byConn {
+			total += n
+			if n > top {
+				top = n
+			}
+		}
+		rs.RetxConns = len(byConn)
+		if total > 0 {
+			rs.RetxPerConn = float64(total) / float64(len(byConn))
+			rs.TopConnRetxShare = float64(top) / float64(total)
+		}
+		bursts := trace.FindRetxBursts(res.Recorder, retxBurstWindow)
+		rs.SingleConnBurstFrac = trace.SingleConnBurstFraction(bursts)
+	}
+	for _, s := range res.Samples {
+		if s.ActiveConns > rs.PeakConns {
+			rs.PeakConns = s.ActiveConns
+		}
+	}
+	ts := res.ThroughputSeries()
+	var sum, n float64
+	for _, v := range ts.Bins {
+		if v > 0 {
+			sum += v
+			n++
+			if v > rs.TpMaxBps {
+				rs.TpMaxBps = v
+			}
+		}
+	}
+	if n > 0 {
+		rs.TpAvgBps = sum / n
+		rs.TpHasPos = true
+	}
+	return rs
+}
+
+// RunStats executes (or replays) one run and returns its aggregates.
+// Aggregates are memoized separately from full Results: a cached full
+// Result is distilled for free; otherwise the run executes with a lean
+// (rare-only) probe recorder and the Result is released immediately —
+// aggregate-only sweeps never materialize the columnar trace.
+func (r *Runner) RunStats(opts Options) *RunStats {
+	statsOpts := opts
+	statsOpts.LeanProbe = false // lean and full runs share one aggregate entry
+	key, ok := CacheKey(statsOpts)
+	if !ok {
+		return NewRunStats(Run(opts))
+	}
+	return r.stats.getOrRun(key, func() *RunStats {
+		if res, hit := r.cache.peek(key); hit {
+			return NewRunStats(res)
+		}
+		lean := opts
+		lean.LeanProbe = true
+		return NewRunStats(Run(lean))
+	})
+}
+
+// SweepStats runs one condition across h.Runs seeds, returning per-run
+// aggregates ordered by seed. Like Sweep, the output is bit-for-bit
+// identical regardless of parallelism; unlike Sweep, memory stays flat —
+// each worker releases its Result the moment it is distilled.
+func (r *Runner) SweepStats(h Harness, base Options) []*RunStats {
+	out := make([]*RunStats, h.Runs)
+	r.beginSweep(h.Runs)
+	if h.Runs <= 1 || r.parallel <= 1 {
+		for i := range out {
+			opts := base
+			opts.Seed = h.Seed + uint64(i)
+			out[i] = r.RunStats(opts)
+			r.noteRun()
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for i := range out {
+		opts := base
+		opts.Seed = h.Seed + uint64(i)
+		wg.Add(1)
+		go func(i int, opts Options) {
+			defer wg.Done()
+			r.sem <- struct{}{}
+			defer func() { <-r.sem }()
+			out[i] = r.RunStats(opts)
+			r.noteRun()
+		}(i, opts)
+	}
+	wg.Wait()
+	return out
+}
+
+// SweepEach streams full Results through fn strictly in seed order,
+// releasing each one afterwards. Seeds are computed in parallel chunks
+// of the worker-pool size, so at most `parallel` Results are in flight
+// while fn observes exactly the sequence a serial sweep would produce —
+// for the few experiments whose flat fold order over full Results cannot
+// be regrouped per run without perturbing float low bits.
+func (r *Runner) SweepEach(h Harness, base Options, fn func(*Result)) {
+	r.beginSweep(h.Runs)
+	if h.Runs <= 1 || r.parallel <= 1 {
+		for i := 0; i < h.Runs; i++ {
+			opts := base
+			opts.Seed = h.Seed + uint64(i)
+			res := r.Run(opts)
+			r.noteRun()
+			fn(res)
+		}
+		return
+	}
+	chunk := r.parallel
+	buf := make([]*Result, chunk)
+	for lo := 0; lo < h.Runs; lo += chunk {
+		hi := lo + chunk
+		if hi > h.Runs {
+			hi = h.Runs
+		}
+		var wg sync.WaitGroup
+		for i := lo; i < hi; i++ {
+			opts := base
+			opts.Seed = h.Seed + uint64(i)
+			wg.Add(1)
+			go func(slot int, opts Options) {
+				defer wg.Done()
+				r.sem <- struct{}{}
+				defer func() { <-r.sem }()
+				buf[slot] = r.Run(opts)
+				r.noteRun()
+			}(i-lo, opts)
+		}
+		wg.Wait()
+		for i := lo; i < hi; i++ {
+			fn(buf[i-lo])
+			buf[i-lo] = nil
+		}
+	}
+}
+
+// Folder accumulates RunStats into mergeable state — typically a struct
+// of stats.Moments / stats.QuantileSketch / stats.Hist fields.
+type Folder interface {
+	// Fold incorporates one run.
+	Fold(*RunStats)
+	// Merge incorporates another shard's accumulated state. The argument
+	// is always a Folder produced by the same constructor.
+	Merge(Folder)
+}
+
+// sweepShardSize fixes how many consecutive seeds each shard accumulator
+// folds. It is a pure function of nothing — the shard partition depends
+// only on h.Runs — so shard boundaries, and therefore every float fold
+// order, are identical at any parallelism: serial and sharded-parallel
+// sweeps produce bit-identical merged state.
+const sweepShardSize = 16
+
+// SweepStream folds one condition's runs into shard accumulators and
+// merges the shards in index order. Workers fold their seed range
+// sequentially and release each Result immediately, so memory stays flat
+// no matter how large h.Runs grows.
+func (r *Runner) SweepStream(h Harness, base Options, newShard func() Folder) Folder {
+	r.beginSweep(h.Runs)
+	if h.Runs <= 0 {
+		return newShard()
+	}
+	shards := (h.Runs + sweepShardSize - 1) / sweepShardSize
+	out := make([]Folder, shards)
+	fill := func(si int) {
+		f := newShard()
+		lo := si * sweepShardSize
+		hi := lo + sweepShardSize
+		if hi > h.Runs {
+			hi = h.Runs
+		}
+		for i := lo; i < hi; i++ {
+			opts := base
+			opts.Seed = h.Seed + uint64(i)
+			f.Fold(r.RunStats(opts))
+			r.noteRun()
+		}
+		out[si] = f
+	}
+	if shards == 1 || r.parallel <= 1 {
+		for si := range out {
+			fill(si)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for si := range out {
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				r.sem <- struct{}{}
+				defer func() { <-r.sem }()
+				fill(si)
+			}(si)
+		}
+		wg.Wait()
+	}
+	acc := out[0]
+	for _, f := range out[1:] {
+		acc.Merge(f)
+	}
+	return acc
+}
+
+// The report-side helpers below mirror pltBySite/allPLTs/meanRetx over
+// RunStats, preserving the exact append orders so converted experiments
+// stay bit-identical.
+
+// pltBySiteStats maps 1-based site index to PLT seconds across runs.
+func pltBySiteStats(rs []*RunStats) map[int][]float64 {
+	out := make(map[int][]float64)
+	for _, r := range rs {
+		for i, site := range r.Sites {
+			out[site] = append(out[site], r.PLTs[i])
+		}
+	}
+	return out
+}
+
+// allPLTStats concatenates every run's PLTs in seed order.
+func allPLTStats(rs []*RunStats) []float64 {
+	var out []float64
+	for _, r := range rs {
+		out = append(out, r.PLTs...)
+	}
+	return out
+}
+
+// meanRetxStats averages per-run retransmission totals.
+func meanRetxStats(rs []*RunStats) float64 {
+	var s float64
+	for _, r := range rs {
+		s += float64(r.Retx)
+	}
+	return s / float64(len(rs))
+}

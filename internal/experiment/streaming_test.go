@@ -1,0 +1,184 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"spdier/internal/browser"
+	"spdier/internal/stats"
+	"spdier/internal/webpage"
+)
+
+// TestRunStatsLeanMatchesFull: distilling a lean (rare-only probe) run
+// must produce exactly the aggregates of the full-trace run — the
+// property that lets aggregate-only sweeps skip the columnar trace.
+func TestRunStatsLeanMatchesFull(t *testing.T) {
+	base := Options{Mode: browser.ModeSPDY, Network: Net3G, Seed: 5, Sites: webpage.Table1()[:5]}
+	full := NewRunStats(Run(base))
+	lean := base
+	lean.LeanProbe = true
+	got := NewRunStats(Run(lean))
+	if !reflect.DeepEqual(got, full) {
+		t.Fatalf("lean RunStats differ from full:\n got %+v\nwant %+v", got, full)
+	}
+}
+
+// TestRunStatsMatchesSweepDerivation: the distilled vectors must
+// reproduce what a store-everything sweep derives by hand.
+func TestRunStatsMatchesSweepDerivation(t *testing.T) {
+	h := Harness{Runs: 3, Seed: 9}
+	base := Options{Mode: browser.ModeHTTP, Network: NetWiFi, Sites: webpage.Table1()[:4]}
+	results := NewRunner(1).Sweep(h, base)
+	rs := NewRunner(1).SweepStats(h, base)
+
+	if got, want := allPLTStats(rs), allPLTs(results); !reflect.DeepEqual(got, want) {
+		t.Fatalf("allPLTs mismatch:\n got %v\nwant %v", got, want)
+	}
+	if got, want := pltBySiteStats(rs), pltBySite(results); !reflect.DeepEqual(got, want) {
+		t.Fatalf("pltBySite mismatch:\n got %v\nwant %v", got, want)
+	}
+	if got, want := meanRetxStats(rs), meanRetx(results); got != want {
+		t.Fatalf("meanRetx mismatch: %v vs %v", got, want)
+	}
+}
+
+// TestSweepStatsParallelMatchesSerial: per-run aggregates must be
+// bit-identical at any parallelism, including when lean runs replay from
+// the aggregate cache.
+func TestSweepStatsParallelMatchesSerial(t *testing.T) {
+	h := Harness{Runs: 4, Seed: 11}
+	base := Options{Mode: browser.ModeSPDY, Network: NetWiFi, Sites: webpage.Table1()[:4]}
+	serial := NewRunner(1).SweepStats(h, base)
+	par := NewRunner(4).SweepStats(h, base)
+	if !reflect.DeepEqual(par, serial) {
+		t.Fatalf("parallel SweepStats differ from serial")
+	}
+	// Second pass on the same runner replays every entry from the
+	// aggregate cache.
+	r := NewRunner(4)
+	r.SweepStats(h, base)
+	if s := r.StreamCacheStats(); s.Misses != uint64(h.Runs) {
+		t.Fatalf("first pass: %d stream misses, want %d", s.Misses, h.Runs)
+	}
+	cached := r.SweepStats(h, base)
+	if s := r.StreamCacheStats(); s.Hits != uint64(h.Runs) {
+		t.Fatalf("second pass: %d stream hits, want %d", s.Hits, h.Runs)
+	}
+	if !reflect.DeepEqual(cached, serial) {
+		t.Fatalf("cached SweepStats differ from serial")
+	}
+}
+
+// momentsFolder is a minimal Folder for the engine tests.
+type momentsFolder struct {
+	plt  stats.Moments
+	pltQ stats.QuantileSketch
+	n    int
+}
+
+func newMomentsFolder() Folder { return &momentsFolder{} }
+
+func (f *momentsFolder) Fold(rs *RunStats) {
+	for _, p := range rs.PLTs {
+		f.plt.Add(p)
+		f.pltQ.Add(p)
+	}
+	f.n++
+}
+
+func (f *momentsFolder) Merge(o Folder) {
+	of := o.(*momentsFolder)
+	f.plt.Merge(&of.plt)
+	f.pltQ.Merge(&of.pltQ)
+	f.n += of.n
+}
+
+// TestSweepStreamParallelMatchesSerial: the merged accumulator state must
+// be bit-identical whether shards fill serially or across the worker
+// pool. Runs > sweepShardSize forces a real multi-shard merge.
+func TestSweepStreamParallelMatchesSerial(t *testing.T) {
+	h := Harness{Runs: sweepShardSize + 3, Seed: 2}
+	base := Options{Mode: browser.ModeHTTP, Network: NetWiFi, Sites: webpage.Table1()[:2]}
+	serial := NewRunner(1).SweepStream(h, base, newMomentsFolder).(*momentsFolder)
+	par := NewRunner(4).SweepStream(h, base, newMomentsFolder).(*momentsFolder)
+	if !reflect.DeepEqual(par, serial) {
+		t.Fatalf("parallel SweepStream state differs from serial:\n got %+v\nwant %+v", par, serial)
+	}
+	if serial.n != h.Runs {
+		t.Fatalf("folded %d runs, want %d", serial.n, h.Runs)
+	}
+	if int(serial.plt.N()) != len(allPLTStats(NewRunner(1).SweepStats(h, base))) {
+		t.Fatalf("fold count mismatch")
+	}
+}
+
+// TestSweepEachOrderAndEquality: SweepEach must deliver exactly the
+// serial sweep's Results, in seed order, at any parallelism.
+func TestSweepEachOrderAndEquality(t *testing.T) {
+	h := Harness{Runs: 5, Seed: 21}
+	base := Options{Mode: browser.ModeSPDY, Network: NetWiFi, Sites: webpage.Table1()[:3]}
+	want := NewRunner(1).Sweep(h, base)
+
+	for _, workers := range []int{1, 3} {
+		var seeds []uint64
+		var plts []float64
+		NewRunner(workers).SweepEach(h, base, func(res *Result) {
+			seeds = append(seeds, res.Opts.Seed)
+			plts = append(plts, res.PLTSeconds()...)
+		})
+		var wantSeeds []uint64
+		var wantPLTs []float64
+		for _, res := range want {
+			wantSeeds = append(wantSeeds, res.Opts.Seed)
+			wantPLTs = append(wantPLTs, res.PLTSeconds()...)
+		}
+		if !reflect.DeepEqual(seeds, wantSeeds) {
+			t.Fatalf("workers=%d: delivery order %v, want %v", workers, seeds, wantSeeds)
+		}
+		if !reflect.DeepEqual(plts, wantPLTs) {
+			t.Fatalf("workers=%d: folded PLTs differ", workers)
+		}
+	}
+}
+
+// TestLeanRunNotReplayedAsFull: a lean Result must never satisfy a
+// trace-walking caller's cache lookup, and vice versa the full Result
+// must be reused for aggregates when already resident.
+func TestLeanRunNotReplayedAsFull(t *testing.T) {
+	opts := Options{Mode: browser.ModeHTTP, Network: NetWiFi, Seed: 3, Sites: webpage.Table1()[:2]}
+	kFull, ok := CacheKey(opts)
+	if !ok {
+		t.Fatalf("expected cacheable options")
+	}
+	lean := opts
+	lean.LeanProbe = true
+	kLean, ok := CacheKey(lean)
+	if !ok {
+		t.Fatalf("expected cacheable lean options")
+	}
+	if kFull == kLean {
+		t.Fatalf("lean and full runs share cache key %q", kFull)
+	}
+
+	// A runner that has computed aggregates via the lean path must still
+	// produce a full trace when the Result is requested directly.
+	r := NewRunner(1)
+	rs := r.RunStats(opts)
+	res := r.Run(opts)
+	if res.Recorder.RareOnly() {
+		t.Fatalf("full Run returned a rare-only recorder after lean aggregate pass")
+	}
+	if got := NewRunStats(res); !reflect.DeepEqual(got, rs) {
+		t.Fatalf("aggregates from full trace differ from lean pass")
+	}
+
+	// The reverse order: with the full Result resident, RunStats must
+	// peek it instead of simulating a lean twin.
+	r2 := NewRunner(1)
+	r2.Run(opts)
+	miss := r2.CacheStats().Misses
+	r2.RunStats(opts)
+	if r2.CacheStats().Misses != miss {
+		t.Fatalf("RunStats re-simulated despite resident full Result")
+	}
+}

@@ -143,6 +143,15 @@ func (c *SPDYClient) fail(err error) {
 }
 
 func (c *SPDYClient) readLoop() {
+	// The session is dead once this loop exits; recycle the zlib contexts.
+	// Writers serialize on writeMu, so taking it here means no Get/Ping is
+	// mid-WriteFrame when the framer is released — late writers get
+	// ErrFramerReleased instead.
+	defer func() {
+		c.writeMu.Lock()
+		c.framer.Release()
+		c.writeMu.Unlock()
+	}()
 	for {
 		fr, err := c.framer.ReadFrame()
 		if err != nil {

@@ -78,8 +78,16 @@ func (p *SPDYProxy) acceptLoop() {
 		p.sessions++
 		p.mu.Unlock()
 		s := newProxySession(p, conn)
-		go s.readLoop()
-		go s.writeLoop()
+		go func() {
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() { defer wg.Done(); s.readLoop() }()
+			go func() { defer wg.Done(); s.writeLoop() }()
+			// Both loops have quiesced: safe to hand the session's zlib
+			// contexts back to the pool.
+			wg.Wait()
+			s.framer.Release()
+		}()
 	}
 }
 

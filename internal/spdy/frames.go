@@ -156,6 +156,26 @@ func NewFramer(rw io.ReadWriter) *Framer {
 	}
 }
 
+// ErrFramerReleased is returned by ReadFrame/WriteFrame after Release.
+var ErrFramerReleased = errors.New("spdy: framer used after Release")
+
+// Release returns the framer's zlib contexts to the shared pools, so
+// short-lived sessions (one per page load in a live proxy) stop paying a
+// fresh deflate window + dictionary allocation each. The framer is dead
+// afterwards: ReadFrame and WriteFrame return ErrFramerReleased. Release
+// is idempotent but, like the rest of Framer, not concurrency-safe —
+// callers must quiesce both loops first.
+func (f *Framer) Release() {
+	if f.compressTx != nil {
+		f.compressTx.release()
+		f.compressTx = nil
+	}
+	if f.decompressRx != nil {
+		f.decompressRx.release()
+		f.decompressRx = nil
+	}
+}
+
 func (f *Framer) writeAll(b []byte) error {
 	n, err := f.w.Write(b)
 	f.BytesWritten += int64(n)
@@ -175,6 +195,9 @@ func controlHeader(frameType int, flags uint8, length int) []byte {
 
 // WriteFrame serializes one frame.
 func (f *Framer) WriteFrame(fr Frame) error {
+	if f.compressTx == nil {
+		return ErrFramerReleased
+	}
 	switch fr := fr.(type) {
 	case DataFrame:
 		return f.writeData(fr)
@@ -305,6 +328,9 @@ func (f *Framer) writeSynReply(fr SynReply) error {
 
 // ReadFrame reads and parses the next frame from the stream.
 func (f *Framer) ReadFrame() (Frame, error) {
+	if f.decompressRx == nil {
+		return nil, ErrFramerReleased
+	}
 	var head [8]byte
 	if _, err := io.ReadFull(f.r, head[:]); err != nil {
 		return nil, err

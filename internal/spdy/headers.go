@@ -9,6 +9,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Headers is a SPDY name/value block. Per SPDY/3, names are lowercase and
@@ -112,7 +113,11 @@ type headerCompressor struct {
 	zw  *zlib.Writer
 }
 
-func newHeaderCompressor() *headerCompressor {
+// compressorPool recycles zlib compression contexts across sessions.
+// zlib.Writer.Reset restores the exact NewWriterLevelDict initial state
+// (same level, same dictionary), so a pooled context produces output
+// byte-identical to a fresh one.
+var compressorPool = sync.Pool{New: func() any {
 	c := &headerCompressor{}
 	zw, err := zlib.NewWriterLevelDict(&c.buf, zlib.BestCompression, headerDictionary)
 	if err != nil {
@@ -120,7 +125,18 @@ func newHeaderCompressor() *headerCompressor {
 	}
 	c.zw = zw
 	return c
+}}
+
+func newHeaderCompressor() *headerCompressor {
+	c := compressorPool.Get().(*headerCompressor)
+	c.buf.Reset()
+	c.zw.Reset(&c.buf)
+	return c
 }
+
+// release returns the context to the pool. The caller must not use it
+// afterwards.
+func (c *headerCompressor) release() { compressorPool.Put(c) }
 
 // Compress returns the compressed encoding of h, flushed at a sync point
 // so the receiver can decode the block without further input.
@@ -142,16 +158,37 @@ func (c *headerCompressor) Compress(h Headers) []byte {
 type headerDecompressor struct {
 	in bytes.Buffer
 	zr io.ReadCloser
+	// stale marks a pooled zr that still holds the previous session's
+	// inflate state. The reset is deferred to the first Decompress because
+	// zlib's Reset consumes the 2-byte stream header immediately, which is
+	// only available once the first block has been buffered.
+	stale bool
 }
 
+// decompressorPool recycles receive-side contexts across sessions.
+var decompressorPool = sync.Pool{New: func() any { return &headerDecompressor{} }}
+
 func newHeaderDecompressor() *headerDecompressor {
-	return &headerDecompressor{}
+	d := decompressorPool.Get().(*headerDecompressor)
+	d.in.Reset()
+	d.stale = d.zr != nil
+	return d
 }
+
+// release returns the context to the pool. The caller must not use it
+// afterwards.
+func (d *headerDecompressor) release() { decompressorPool.Put(d) }
 
 // Decompress decodes one compressed block produced by a matching
 // headerCompressor on the same session.
 func (d *headerDecompressor) Decompress(block []byte) (Headers, error) {
 	d.in.Write(block)
+	if d.stale {
+		if err := d.zr.(zlib.Resetter).Reset(&d.in, headerDictionary); err != nil {
+			return nil, fmt.Errorf("spdy: zlib reader reset: %w", err)
+		}
+		d.stale = false
+	}
 	if d.zr == nil {
 		zr, err := zlib.NewReaderDict(&d.in, headerDictionary)
 		if err != nil {

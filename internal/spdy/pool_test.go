@@ -1,0 +1,89 @@
+package spdy
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// sessionFrames is a representative header-bearing frame sequence that
+// exercises the shared compression context across several blocks.
+func sessionFrames() []Frame {
+	return []Frame{
+		SynStream{StreamID: 1, Priority: 2, Fin: true,
+			Headers: RequestHeaders("GET", "http", "pool.example.com", "/", "spdier-test")},
+		SynReply{StreamID: 1,
+			Headers: ResponseHeaders("200 OK", "text/html", 1234)},
+		SynStream{StreamID: 3, Priority: 0, Fin: true,
+			Headers: RequestHeaders("GET", "http", "pool.example.com", "/logo.png", "spdier-test")},
+		HeadersFrame{StreamID: 3, Fin: true,
+			Headers: Headers{"x-trailer": "done"}},
+	}
+}
+
+func writeSession(t *testing.T) (*Framer, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	tx := NewFramer(&buf)
+	for _, fr := range sessionFrames() {
+		if err := tx.WriteFrame(fr); err != nil {
+			t.Fatalf("write %T: %v", fr, err)
+		}
+	}
+	return tx, &buf
+}
+
+// TestPooledFramerByteIdentity proves a framer built from recycled zlib
+// contexts emits the identical wire bytes, and decodes them to identical
+// frames, as one whose contexts were freshly constructed.
+func TestPooledFramerByteIdentity(t *testing.T) {
+	tx1, buf1 := writeSession(t)
+	rx1 := NewFramer(bytes.NewBuffer(buf1.Bytes()))
+	want := make([]Frame, 0, 4)
+	for range sessionFrames() {
+		fr, err := rx1.ReadFrame()
+		if err != nil {
+			t.Fatalf("first read: %v", err)
+		}
+		want = append(want, fr)
+	}
+	// Recycle both sides' contexts, then run the same session again. The
+	// pool hands back warm contexts whose Reset state must be
+	// indistinguishable from new.
+	tx1.Release()
+	rx1.Release()
+
+	tx2, buf2 := writeSession(t)
+	defer tx2.Release()
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatalf("pooled compressor output differs from fresh: %d vs %d bytes", buf1.Len(), buf2.Len())
+	}
+	rx2 := NewFramer(bytes.NewBuffer(buf2.Bytes()))
+	defer rx2.Release()
+	for i := range want {
+		fr, err := rx2.ReadFrame()
+		if err != nil {
+			t.Fatalf("pooled read %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(fr, want[i]) {
+			t.Fatalf("pooled frame %d mismatch:\n got %+v\nwant %+v", i, fr, want[i])
+		}
+	}
+}
+
+func TestFramerUseAfterRelease(t *testing.T) {
+	var buf bytes.Buffer
+	f := NewFramer(&buf)
+	if err := f.WriteFrame(Ping{ID: 1}); err != nil {
+		t.Fatalf("write before release: %v", err)
+	}
+	f.Release()
+	f.Release() // idempotent
+	if err := f.WriteFrame(Ping{ID: 2}); !errors.Is(err, ErrFramerReleased) {
+		t.Fatalf("WriteFrame after Release: got %v, want ErrFramerReleased", err)
+	}
+	if _, err := f.ReadFrame(); !errors.Is(err, ErrFramerReleased) {
+		t.Fatalf("ReadFrame after Release: got %v, want ErrFramerReleased", err)
+	}
+}

@@ -73,6 +73,22 @@ func quantileSorted(s []float64, q float64) float64 {
 	return s[lo]*(1-frac) + s[lo+1]*frac
 }
 
+// Quantiles returns the q-quantile for each requested q, copying and
+// sorting the input once rather than once per quantile. Each result is
+// bit-identical to the corresponding Quantile(xs, q) call.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, q := range qs {
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
 // Median returns the 0.5 quantile.
 func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
 

@@ -1,0 +1,276 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func sampleSets() map[string][]float64 {
+	rng := rand.New(rand.NewSource(42))
+	sorted := make([]float64, 5000)
+	for i := range sorted {
+		sorted[i] = float64(i) * 0.01
+	}
+	constant := make([]float64, 5000)
+	for i := range constant {
+		constant[i] = 7.5
+	}
+	bimodal := make([]float64, 5000)
+	for i := range bimodal {
+		if i%2 == 0 {
+			bimodal[i] = 2 + rng.Float64()
+		} else {
+			bimodal[i] = 40 + rng.Float64()
+		}
+	}
+	uniform := make([]float64, 5000)
+	for i := range uniform {
+		uniform[i] = rng.Float64() * 100
+	}
+	return map[string][]float64{
+		"sorted": sorted, "constant": constant, "bimodal": bimodal, "uniform": uniform,
+	}
+}
+
+func TestMomentsMatchBatchStats(t *testing.T) {
+	for name, xs := range sampleSets() {
+		var m Moments
+		for _, x := range xs {
+			m.Add(x)
+		}
+		if got, want := m.Mean(), Mean(xs); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: mean %g want %g", name, got, want)
+		}
+		// Batch StdDev divides by n-1 (sample), as does Moments.
+		if got, want := m.StdDev(), StdDev(xs); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: stddev %g want %g", name, got, want)
+		}
+		if got, want := m.CI95(), CI95(xs); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: ci95 %g want %g", name, got, want)
+		}
+		if m.N() != len(xs) {
+			t.Errorf("%s: n %d want %d", name, m.N(), len(xs))
+		}
+	}
+}
+
+// shardAccs is one complete set of streaming accumulators.
+type shardAccs struct {
+	m Moments
+	q QuantileSketch
+	h Hist
+}
+
+// fillShards partitions xs into `shards` contiguous chunks (the
+// deterministic partition SweepStream uses) and folds each chunk into its
+// own accumulator set. When parallel, each shard fills in its own
+// goroutine; the fold order *within* a shard is identical either way.
+func fillShards(xs []float64, shards int, parallel bool) []*shardAccs {
+	accs := make([]*shardAccs, shards)
+	per := (len(xs) + shards - 1) / shards
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		accs[s] = &shardAccs{h: *NewHist(1.0)}
+		lo, hi := s*per, (s+1)*per
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		fill := func(a *shardAccs, part []float64) {
+			for _, x := range part {
+				a.m.Add(x)
+				a.q.Add(x)
+				a.h.Add(x)
+			}
+		}
+		if parallel {
+			wg.Add(1)
+			go func(a *shardAccs, part []float64) {
+				defer wg.Done()
+				fill(a, part)
+			}(accs[s], xs[lo:hi:hi])
+		} else {
+			fill(accs[s], xs[lo:hi:hi])
+		}
+	}
+	wg.Wait()
+	return accs
+}
+
+// mergeShards combines shard accumulators in index order.
+func mergeShards(accs []*shardAccs) *shardAccs {
+	out := accs[0]
+	for _, a := range accs[1:] {
+		out.m.Merge(&a.m)
+		out.q.Merge(&a.q)
+		out.h.Merge(&a.h)
+	}
+	return out
+}
+
+// TestShardedMergeBitIdentical is the determinism contract of the sweep
+// engine: with a fixed shard partition, filling the shards concurrently
+// and merging in shard-index order yields state bit-identical to filling
+// them one after another — for every accumulator type. Under -race this
+// also proves the concurrent fill is data-race free.
+func TestShardedMergeBitIdentical(t *testing.T) {
+	for name, xs := range sampleSets() {
+		for _, shards := range []int{1, 2, 7} {
+			serial := mergeShards(fillShards(xs, shards, false))
+			conc := mergeShards(fillShards(xs, shards, true))
+			if serial.m != conc.m {
+				t.Errorf("%s/%d shards: moments differ: %+v vs %+v", name, shards, conc.m, serial.m)
+			}
+			if !reflect.DeepEqual(serial.q, conc.q) {
+				t.Errorf("%s/%d shards: sketch state differs", name, shards)
+			}
+			if !reflect.DeepEqual(serial.h, conc.h) {
+				t.Errorf("%s/%d shards: hist state differs", name, shards)
+			}
+		}
+	}
+}
+
+// TestMomentsMergeAccuracy: Chan's pairwise merge reorders the floating
+// point ops relative to one long Welford fold, so cross-structure results
+// agree only to rounding — which is all downstream reporting needs.
+func TestMomentsMergeAccuracy(t *testing.T) {
+	for name, xs := range sampleSets() {
+		var flat Moments
+		for _, x := range xs {
+			flat.Add(x)
+		}
+		for _, shards := range []int{2, 7} {
+			merged := mergeShards(fillShards(xs, shards, true))
+			if math.Abs(merged.m.Mean()-flat.Mean()) > 1e-9 {
+				t.Errorf("%s/%d shards: mean %g vs %g", name, shards, merged.m.Mean(), flat.Mean())
+			}
+			if math.Abs(merged.m.StdDev()-flat.StdDev()) > 1e-9 {
+				t.Errorf("%s/%d shards: stddev %g vs %g", name, shards, merged.m.StdDev(), flat.StdDev())
+			}
+			if merged.m.N() != flat.N() {
+				t.Errorf("%s/%d shards: n %d vs %d", name, shards, merged.m.N(), flat.N())
+			}
+		}
+	}
+}
+
+func sketchTolerance(xs []float64) float64 {
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	// A collapsed sketch quantizes to (range / bins); merges can cost a
+	// few extra bin widths of resolution.
+	return 8*(hi-lo)/float64(sketchBins) + 1e-12
+}
+
+// TestSketchExactRegimeBitIdentical: below the exact-buffer threshold the
+// sketch must return precisely what the batch Quantile helper returns.
+func TestSketchExactRegimeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, sketchExactMax)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 13
+	}
+	var s QuantileSketch
+	for _, x := range xs {
+		s.Add(x)
+	}
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		if got, want := s.Quantile(q), Quantile(xs, q); got != want {
+			t.Fatalf("exact regime q=%g: sketch %v != batch %v", q, got, want)
+		}
+	}
+}
+
+// TestSketchErrorBounds: in the collapsed regime the sketch must land
+// within a few bin widths of the exact value, or — where interpolation
+// across an empty region makes value distance meaningless (the bimodal
+// median) — within 2% rank error, the standard sketch guarantee.
+func TestSketchErrorBounds(t *testing.T) {
+	for name, xs := range sampleSets() {
+		var s QuantileSketch
+		for _, x := range xs {
+			s.Add(x)
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		tol := sketchTolerance(xs)
+		for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			got, want := s.Quantile(q), Quantile(xs, q)
+			if math.Abs(got-want) <= tol {
+				continue
+			}
+			rankLo := float64(sort.SearchFloat64s(sorted, got-tol)) / float64(len(sorted))
+			rankHi := float64(sort.SearchFloat64s(sorted, got+tol)) / float64(len(sorted))
+			if q < rankLo-0.02 || q > rankHi+0.02 {
+				t.Errorf("%s q=%g: sketch %g, exact %g, value tol %g, rank [%g,%g]",
+					name, q, got, want, tol, rankLo, rankHi)
+			}
+		}
+	}
+}
+
+func TestSketchMergeExactBuffersStayExact(t *testing.T) {
+	var a, b QuantileSketch
+	xs := make([]float64, 600)
+	for i := range xs {
+		xs[i] = float64((i * 37) % 600)
+		if i < 300 {
+			a.Add(xs[i])
+		} else {
+			b.Add(xs[i])
+		}
+	}
+	a.Merge(&b)
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got, want := a.Quantile(q), Quantile(xs, q); got != want {
+			t.Fatalf("merged exact sketch q=%g: %g want %g", q, got, want)
+		}
+	}
+}
+
+func TestHistAtAndMerge(t *testing.T) {
+	h := NewHist(1.0)
+	for _, x := range []float64{0.5, 1.5, 1.6, 2.5, 9} {
+		h.Add(x)
+	}
+	if got := h.At(2); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("At(2) = %g, want 0.6", got)
+	}
+	if got := h.At(100); got != 1 {
+		t.Fatalf("At(100) = %g, want 1", got)
+	}
+	o := NewHist(2.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("merging mismatched widths should panic")
+		}
+	}()
+	h.Merge(o)
+}
+
+func TestQuantilesMatchesQuantile(t *testing.T) {
+	for name, xs := range sampleSets() {
+		qs := []float64{0, 0.1, 0.5, 0.9, 1}
+		got := Quantiles(xs, qs...)
+		for i, q := range qs {
+			if want := Quantile(xs, q); got[i] != want {
+				t.Errorf("%s q=%g: Quantiles %v != Quantile %v", name, q, got[i], want)
+			}
+		}
+	}
+	if got := Quantiles(nil, 0.5); got[0] != 0 {
+		t.Errorf("empty input: got %v", got)
+	}
+	// Quantiles must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Quantiles(xs, 0.5)
+	if !sort.Float64sAreSorted([]float64{xs[0]}) || xs[0] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}

@@ -68,6 +68,13 @@ type Probe interface {
 	Sample(ProbeSample)
 }
 
+// Consumer receives every sample offered to a Recorder, before any
+// retention policy is applied. It lets streaming pipelines observe the
+// full probe stream without the Recorder materializing it.
+type Consumer interface {
+	Consume(ProbeSample)
+}
+
 // Recorder is a Probe that retains samples in struct-of-arrays columnar
 // form: parallel slices with narrow element types (~34 bytes/sample
 // instead of ~80 for the boxed struct), with connection IDs interned.
@@ -86,8 +93,11 @@ type Recorder struct {
 	// access — Sample runs inline with the event loop.
 	counts [len(evCodes) + 1]int
 
-	stride   int // retain every stride-th bulk sample; <=1 keeps all
-	bulkSeen int // bulk samples offered, for stride selection
+	stride   int  // retain every stride-th bulk sample; <=1 keeps all
+	rareOnly bool // drop all bulk samples; rare events still retained
+	bulkSeen int  // bulk samples offered, for stride selection
+
+	sink Consumer // optional tee observing every sample offered
 
 	// Columnar sample storage.
 	at       []sim.Time
@@ -128,6 +138,26 @@ func NewRecorderStride(stride int) *Recorder {
 	}
 }
 
+// NewRecorderRareOnly returns a Recorder that retains no bulk (ack/send)
+// samples at all. Rare events — retransmissions, idle restarts, undos,
+// RTT resets, establishment, spurious arrivals — are still retained, so
+// retransmission burst analysis works unchanged, and the exact aggregates
+// (Counts, MeanCwnd, MaxCwnd, TotalSamples) are identical to a full
+// Recorder's. This is the bounded-memory mode the streaming sweep path
+// uses: aggregate-only experiments never materialize the columnar trace.
+func NewRecorderRareOnly() *Recorder {
+	r := NewRecorderStride(1)
+	r.rareOnly = true
+	return r
+}
+
+// SetConsumer installs a tee that observes every sample offered,
+// regardless of the retention policy. A nil consumer removes the tee.
+func (r *Recorder) SetConsumer(c Consumer) { r.sink = c }
+
+// RareOnly reports whether bulk samples are dropped entirely.
+func (r *Recorder) RareOnly() bool { return r.rareOnly }
+
 // Sample implements Probe.
 func (r *Recorder) Sample(s ProbeSample) {
 	code := evCode(s.Event)
@@ -137,8 +167,11 @@ func (r *Recorder) Sample(s ProbeSample) {
 	if s.Cwnd > r.cwndMax {
 		r.cwndMax = s.Cwnd
 	}
+	if r.sink != nil {
+		r.sink.Consume(s)
+	}
 	if s.Event == EvAck || s.Event == EvSend {
-		keep := r.bulkSeen%r.stride == 0
+		keep := !r.rareOnly && r.bulkSeen%r.stride == 0
 		r.bulkSeen++
 		if !keep {
 			return

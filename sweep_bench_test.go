@@ -1,0 +1,141 @@
+// Sweep-engine guardrail benchmark. BenchmarkSweep drives the streaming
+// sweep path end to end — SweepStream over a real simulated condition —
+// and asserts its two contracts before timing anything: sharded-parallel
+// merge state bit-identical to serial, and flat memory as the run count
+// grows. The headline numbers (runs/sec, peak RSS) go to BENCH_sweep.json
+// via TestMain, which CI archives and diffs per commit.
+//
+//	go test -run '^$' -bench '^BenchmarkSweep$' -benchtime=1x .
+package spdier_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spdier/internal/browser"
+	"spdier/internal/experiment"
+	"spdier/internal/stats"
+	"spdier/internal/webpage"
+)
+
+// sweepFolder aggregates exactly what the scale experiment does, in
+// miniature: mergeable moments plus a quantile sketch over PLTs.
+type sweepFolder struct {
+	plt  stats.Moments
+	pltQ stats.QuantileSketch
+}
+
+func newSweepFolder() experiment.Folder { return &sweepFolder{} }
+
+func (f *sweepFolder) Fold(rs *experiment.RunStats) {
+	for _, p := range rs.PLTs {
+		f.plt.Add(p)
+		f.pltQ.Add(p)
+	}
+}
+
+func (f *sweepFolder) Merge(o experiment.Folder) {
+	of := o.(*sweepFolder)
+	f.plt.Merge(&of.plt)
+	f.pltQ.Merge(&of.pltQ)
+}
+
+// peakRSSMB reads VmHWM (peak resident set) from /proc/self/status, in
+// MiB; 0 where procfs is unavailable.
+func peakRSSMB() float64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "VmHWM:"); ok {
+			kb, _ := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(rest), " kB"), 64)
+			return kb / 1024
+		}
+	}
+	return 0
+}
+
+func heapAfterGC() float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc)
+}
+
+func BenchmarkSweep(b *testing.B) {
+	const sweepRuns = 32
+	sites := webpage.Table1()[:6]
+	h := experiment.Harness{Runs: sweepRuns, Seed: 1}
+	base := experiment.Options{Mode: browser.ModeHTTP, Network: experiment.NetWiFi, Sites: sites}
+
+	// Guardrail 1 — merge determinism: serial and sharded-parallel
+	// SweepStream must produce bit-identical accumulator state.
+	serial := experiment.NewRunner(1).SweepStream(h, base, newSweepFolder).(*sweepFolder)
+	par := experiment.NewRunner(0).SweepStream(h, base, newSweepFolder).(*sweepFolder)
+	if !reflect.DeepEqual(serial, par) {
+		b.Fatalf("sharded-parallel SweepStream state differs from serial:\n got %+v\nwant %+v", par, serial)
+	}
+
+	// Guardrail 2 — flat memory: quadrupling the run count must not
+	// grow the live heap by more than 2× (the streaming engine holds
+	// shard accumulators and per-run aggregates, never Results).
+	small := experiment.Harness{Runs: sweepRuns / 4, Seed: 1}
+	r := experiment.NewRunner(0)
+	r.SweepStream(small, base, newSweepFolder)
+	heapSmall := heapAfterGC()
+	r = experiment.NewRunner(0)
+	r.SweepStream(h, base, newSweepFolder)
+	heapLarge := heapAfterGC()
+	heapRatio := heapLarge / heapSmall
+	if heapRatio > 2 {
+		b.Fatalf("live heap grew %.2f× from %d to %d runs (%.1f MB -> %.1f MB); streaming sweep should be flat",
+			heapRatio, small.Runs, h.Runs, heapSmall/1e6, heapLarge/1e6)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh runner each iteration: no memoized replays, every run
+		// simulates.
+		experiment.NewRunner(0).SweepStream(h, base, newSweepFolder)
+	}
+	b.StopTimer()
+
+	runsPerSec := float64(sweepRuns*b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(runsPerSec, "runs/s")
+	metrics := map[string]float64{
+		"runs_per_sec":        runsPerSec,
+		"sweep_runs":          sweepRuns,
+		"peak_rss_mb":         peakRSSMB(),
+		"heap_ratio_8_to_32":  heapRatio,
+		"merge_deterministic": 1,
+	}
+	reportSweep("BenchmarkSweep", metrics)
+
+	// Regression gate: when CI supplies the previous commit's numbers,
+	// fail on a >20% runs/sec drop (baselines are hardware-specific, so
+	// the gate only runs when the env var is set).
+	if path := os.Getenv("SWEEP_BASELINE"); path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			b.Logf("SWEEP_BASELINE unreadable, skipping gate: %v", err)
+			return
+		}
+		var baseline map[string]map[string]float64
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			b.Logf("SWEEP_BASELINE unparsable, skipping gate: %v", err)
+			return
+		}
+		if want := baseline["BenchmarkSweep"]["runs_per_sec"]; want > 0 && runsPerSec < 0.8*want {
+			b.Fatalf("sweep throughput regressed >20%%: %.1f runs/s vs baseline %.1f", runsPerSec, want)
+		}
+	}
+}
