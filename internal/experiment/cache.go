@@ -31,6 +31,18 @@ func CacheKey(opts Options) (key string, ok bool) {
 		o.SlowStartAfterIdleOff, o.ResetRTTAfterIdle, o.CC, o.NoMetricsCache)
 	fmt.Fprintf(&b, "|sess=%d|latebind=%t|pipe=%t|nobeacons=%t|fastorigin=%t|noundo=%t|lean=%t",
 		o.SPDYSessions, o.SPDYLateBinding, o.Pipelining, o.NoBeacons, o.FastOrigin, o.DisableUndo, o.LeanProbe)
+	// PromotionScale 1 and 0 both mean "unscaled"; canonicalize so they
+	// share a key, as they share a simulation.
+	promo := o.PromotionScale
+	if promo == 1 {
+		promo = 0
+	}
+	fmt.Fprintf(&b, "|xlat=%d|promo=%g|noloss=%t", o.ExtraLatency, promo, o.NoLinkLoss)
+	if im := o.Impair; im.Enabled() {
+		fmt.Fprintf(&b, "|imp=[%g,%g,%g,%g,%g,%d,%g,%d]",
+			im.GEGoodToBad, im.GEBadToGood, im.GELossGood, im.GELossBad,
+			im.ReorderProb, im.ReorderDelay, im.DupProb, im.ExtraJitter)
+	}
 	fmt.Fprintf(&b, "|sample=%d|pstride=%d|sites=", o.SampleEvery, o.ProbeStride)
 	for _, s := range o.Sites {
 		fmt.Fprintf(&b, "[%d,%s,%g,%g,%g,%g,%g,%g]",

@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"fmt"
+
+	"spdier/internal/validate"
+)
+
+func init() {
+	register("validate", "Differential validation: simulator vs live SPDY wire", runValidate)
+}
+
+// runValidate replays the differential corpus through both tracks — the
+// discrete-event simulator and the real SPDY/3 frames over loopback
+// sockets — and reports whether they agree on completion order, byte
+// counts and multiplexing. This is the harness's ground-truth check:
+// the simulator answers the paper's questions only insofar as its
+// protocol behaviour matches a real wire.
+func runValidate(h Harness) *Report {
+	r := NewReport("validate", "Simulator vs live-wire differential replay",
+		"not a paper figure: cross-validates the two tracks of this reproduction")
+	agreed := 0
+	pages := validate.Pages()
+	for _, pg := range pages {
+		simR, err := validate.RunSim(pg, h.Seed)
+		if err != nil {
+			r.Printf("%-14s SIM ERROR: %v", pg.Name, err)
+			continue
+		}
+		liveR, err := validate.RunLive(pg)
+		if err != nil {
+			r.Printf("%-14s LIVE ERROR: %v", pg.Name, err)
+			continue
+		}
+		if err := validate.Compare(simR, liveR); err != nil {
+			r.Printf("%-14s DISAGREE: %v", pg.Name, err)
+			continue
+		}
+		agreed++
+		r.Printf("%-14s agree: %d objects, order %v, 1 session, multiplexed", pg.Name, len(simR.Order), simR.Order)
+	}
+	r.Metric("pages agreeing", float64(agreed), fmt.Sprintf("of %d", len(pages)))
+	return r
+}

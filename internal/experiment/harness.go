@@ -80,6 +80,21 @@ type Options struct {
 	// (ablation for the §6.2.1 fix).
 	DisableUndo bool
 
+	// Impair applies seeded wire impairments (Gilbert-Elliott bursty
+	// loss, reordering, duplication, extra jitter) to both directions of
+	// the access path. The zero value is inert and leaves the simulation
+	// bit-identical to an unimpaired run.
+	Impair netem.Impairments
+	// ExtraLatency adds one-way propagation delay to both directions of
+	// the access path (the metamorphic latency oracle's knob).
+	ExtraLatency time.Duration
+	// PromotionScale multiplies every RRC promotion delay; 0 or 1 leaves
+	// the profile untouched. No-op on WiFi (no radio).
+	PromotionScale float64
+	// NoLinkLoss zeroes the access profile's residual random loss, for
+	// oracles of the form "zero loss implies zero retransmissions".
+	NoLinkLoss bool
+
 	// SampleEvery sets the telemetry sampling period (default 500 ms).
 	SampleEvery time.Duration
 
@@ -226,23 +241,42 @@ func (r *Result) ThroughputSeries() *stats.BinSeries {
 	return s
 }
 
-// buildNetwork assembles the radio, path and TCP demux for the run.
-func buildNetwork(loop *sim.Loop, kind NetworkKind, rng *sim.RNG) (*tcpsim.Network, *rrc.Machine) {
+// buildNetwork assembles the radio, path and TCP demux for the run,
+// applying the Options' path modifiers (impairments, extra latency,
+// scaled promotion delays, zeroed residual loss).
+func buildNetwork(loop *sim.Loop, o Options, rng *sim.RNG) (*tcpsim.Network, *rrc.Machine) {
 	var radio *rrc.Machine
 	var pc netem.PathConfig
-	switch kind {
+	var rp rrc.Profile
+	hasRadio := false
+	switch o.Network {
 	case Net3G:
-		radio = rrc.NewMachine(loop, rrc.Profile3G())
+		rp, hasRadio = rrc.Profile3G(), true
 		pc = netem.Profile3G()
 	case NetLTE:
-		radio = rrc.NewMachine(loop, rrc.ProfileLTE())
+		rp, hasRadio = rrc.ProfileLTE(), true
 		pc = netem.ProfileLTE()
 	case NetWiFi:
-		radio = nil
 		pc = netem.ProfileWiFi()
 	default:
-		panic("experiment: unknown network " + string(kind))
+		panic("experiment: unknown network " + string(o.Network))
 	}
+	if hasRadio {
+		if s := o.PromotionScale; s > 0 && s != 1 {
+			scaled := make(map[rrc.State]time.Duration, len(rp.PromotionDelay))
+			for st, d := range rp.PromotionDelay {
+				scaled[st] = time.Duration(float64(d) * s)
+			}
+			rp.PromotionDelay = scaled
+		}
+		radio = rrc.NewMachine(loop, rp)
+	}
+	pc.Up.Delay += o.ExtraLatency
+	pc.Down.Delay += o.ExtraLatency
+	if o.NoLinkLoss {
+		pc.Up.LossRate, pc.Down.LossRate = 0, 0
+	}
+	pc = pc.WithImpairments(o.Impair)
 	path := netem.NewPath(loop, pc, rng.Fork(0xBEEF), radio)
 	return tcpsim.NewNetwork(loop, path), radio
 }
@@ -268,7 +302,7 @@ func Run(opts Options) *Result {
 	opts = opts.withDefaults()
 	loop := sim.NewLoop()
 	rng := sim.NewRNG(opts.Seed)
-	net, radio := buildNetwork(loop, opts.Network, rng)
+	net, radio := buildNetwork(loop, opts, rng)
 
 	var rec *tcpsim.Recorder
 	if opts.LeanProbe {

@@ -1,0 +1,244 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"spdier/internal/browser"
+	"spdier/internal/netem"
+	"spdier/internal/webpage"
+)
+
+// Metamorphic oracles: relations that must hold between runs whose
+// configurations differ in one physically meaningful way, regardless of
+// the absolute numbers either run produces. They catch the bugs golden
+// tests cannot — a simulator that is self-consistently wrong.
+
+// metaSites is the workload subset the metamorphic tests share. Eight
+// sites keeps each run under a second while still mixing categories.
+func metaSites() []webpage.SiteSpec { return webpage.Table1()[:8] }
+
+func meanOf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func meanPLT(rs []*RunStats) float64 { return meanOf(allPLTStats(rs)) }
+
+// TestPLTMonotoneInAddedLatency: adding pure propagation delay to both
+// directions of the path must not make pages load faster. Checked on
+// both protocols so a latency-hiding bug in either stack is caught.
+func TestPLTMonotoneInAddedLatency(t *testing.T) {
+	h := Harness{Runs: 2, Seed: 3}
+	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
+		r := NewRunner(2)
+		prev := -1.0
+		prevLat := time.Duration(0)
+		for _, lat := range []time.Duration{0, 80 * time.Millisecond, 240 * time.Millisecond} {
+			rs := r.SweepStats(h, Options{
+				Mode: mode, Network: NetWiFi, Sites: metaSites(), ExtraLatency: lat,
+			})
+			m := meanPLT(rs)
+			if m <= 0 {
+				t.Fatalf("%s lat=%v: degenerate mean PLT %v", mode, lat, m)
+			}
+			if prev >= 0 && m < prev {
+				t.Errorf("%s: mean PLT decreased when latency rose %v -> %v: %.3fs -> %.3fs",
+					mode, prevLat, lat, prev, m)
+			}
+			prev, prevLat = m, lat
+		}
+	}
+}
+
+// TestPLTMonotoneInPromotionDelay: stretching the 3G IDLE->DCH promotion
+// delay is dead air before the first byte of every cold radio wakeup —
+// pages must not get faster. This is the paper's central mechanism
+// (radio state promotions dominating mobile PLT), so a violation means
+// the RRC model is disconnected from the transport.
+func TestPLTMonotoneInPromotionDelay(t *testing.T) {
+	h := Harness{Runs: 2, Seed: 5}
+	r := NewRunner(2)
+	prev := -1.0
+	prevScale := 0.0
+	for _, scale := range []float64{0.5, 1, 2} {
+		rs := r.SweepStats(h, Options{
+			Mode: browser.ModeSPDY, Network: Net3G, Sites: metaSites(), PromotionScale: scale,
+		})
+		m := meanPLT(rs)
+		if m <= 0 {
+			t.Fatalf("scale=%g: degenerate mean PLT %v", scale, m)
+		}
+		if prev >= 0 && m < prev {
+			t.Errorf("mean PLT decreased when promotion delay rose %gx -> %gx: %.3fs -> %.3fs",
+				prevScale, scale, prev, m)
+		}
+		prev, prevScale = m, scale
+	}
+}
+
+// TestNoLossNoRetx: on WiFi (no radio gate, so no spurious RTOs from
+// promotion stalls) with link loss forced to zero and a single SPDY
+// session, there is nothing that can destroy or delay a segment beyond
+// the in-order FIFO path — any retransmission is a simulator bug.
+func TestNoLossNoRetx(t *testing.T) {
+	h := Harness{Runs: 3, Seed: 1}
+	rs := NewRunner(2).SweepStats(h, Options{
+		Mode: browser.ModeSPDY, Network: NetWiFi, Sites: metaSites(), NoLinkLoss: true,
+	})
+	for _, s := range rs {
+		if s.Retx != 0 || s.Spurious != 0 {
+			t.Errorf("seed %d: %d retx (%d spurious) on a lossless in-order path",
+				s.Seed, s.Retx, s.Spurious)
+		}
+	}
+}
+
+// TestImpairmentCausesRetx is the converse control: the same lossless
+// configuration with Gilbert-Elliott burst loss layered on top must
+// produce retransmissions, proving the impairment actually reaches the
+// transport (and that TestNoLossNoRetx is not vacuously green).
+func TestImpairmentCausesRetx(t *testing.T) {
+	h := Harness{Runs: 3, Seed: 1}
+	rs := NewRunner(2).SweepStats(h, Options{
+		Mode: browser.ModeSPDY, Network: NetWiFi, Sites: metaSites(), NoLinkLoss: true,
+		Impair: netem.Impairments{GEGoodToBad: 0.02, GEBadToGood: 0.3, GELossBad: 0.5},
+	})
+	total := 0
+	for _, s := range rs {
+		total += s.Retx
+	}
+	if total == 0 {
+		t.Fatal("burst-loss impairment produced zero retransmissions across 3 runs")
+	}
+}
+
+// TestHTTPDilutesLossAcrossConnections reproduces the paper's Section 4
+// observation as a relation: HTTP spreads the same workload over many
+// short connections while SPDY concentrates it on one, so HTTP must
+// both open more concurrent connections and spread its retransmissions
+// over more of them.
+func TestHTTPDilutesLossAcrossConnections(t *testing.T) {
+	h := Harness{Runs: 3, Seed: 2}
+	r := NewRunner(2)
+	http := r.SweepStats(h, Options{Mode: browser.ModeHTTP, Network: Net3G, Sites: metaSites()})
+	spdy := r.SweepStats(h, Options{Mode: browser.ModeSPDY, Network: Net3G, Sites: metaSites()})
+	var httpPeak, spdyPeak, httpRetxConns, spdyRetxConns int
+	for i := range http {
+		httpPeak += http[i].PeakConns
+		spdyPeak += spdy[i].PeakConns
+		httpRetxConns += http[i].RetxConns
+		spdyRetxConns += spdy[i].RetxConns
+	}
+	if httpPeak <= spdyPeak {
+		t.Errorf("HTTP peak connections (%d) not above SPDY (%d): no connection dilution",
+			httpPeak, spdyPeak)
+	}
+	if httpRetxConns <= spdyRetxConns {
+		t.Errorf("HTTP retx spread over %d conns, SPDY over %d: losses not diluted",
+			httpRetxConns, spdyRetxConns)
+	}
+}
+
+// mildImpairments are perturbations small enough not to change the
+// qualitative regime: ~0.1% extra bursty loss and FIFO-preserving
+// jitter. Reordering is deliberately excluded — even 0.5% per-packet
+// reordering floods SPDY's single large-window connection with
+// duplicate ACKs and spurious fast retransmits, flipping the Figure 3/4
+// orderings for real (the paper's own finding that SPDY's advantage is
+// fragile under adverse paths), which is regime change, not noise.
+func mildImpairments() []netem.Impairments {
+	return []netem.Impairments{
+		{},
+		{GEGoodToBad: 0.002, GEBadToGood: 0.4, GELossBad: 0.25, ExtraJitter: 2 * time.Millisecond},
+	}
+}
+
+// TestFig3DirectionStableUnderImpairment: Figure 3's qualitative claim —
+// HTTP retransmits more than SPDY on 3G — must survive mild additional
+// impairment. The absolute counts move; the ordering may not.
+func TestFig3DirectionStableUnderImpairment(t *testing.T) {
+	h := Harness{Runs: 3, Seed: 4}
+	r := NewRunner(2)
+	for _, im := range mildImpairments() {
+		http := meanRetxStats(r.SweepStats(h, Options{
+			Mode: browser.ModeHTTP, Network: Net3G, Sites: metaSites(), Impair: im,
+		}))
+		spdy := meanRetxStats(r.SweepStats(h, Options{
+			Mode: browser.ModeSPDY, Network: Net3G, Sites: metaSites(), Impair: im,
+		}))
+		if http <= spdy {
+			t.Errorf("impair=%+v: HTTP mean retx %.2f <= SPDY %.2f; Figure 3 ordering inverted",
+				im, http, spdy)
+		}
+	}
+}
+
+// TestFig4DirectionStableUnderImpairment: Figure 4's qualitative claim —
+// SPDY loads pages faster than HTTP on WiFi — must survive mild
+// impairment. SPDY's single warm connection should, if anything, gain
+// from adversity relative to HTTP's cold-start parade.
+func TestFig4DirectionStableUnderImpairment(t *testing.T) {
+	h := Harness{Runs: 3, Seed: 6}
+	r := NewRunner(2)
+	for _, im := range mildImpairments() {
+		http := meanPLT(r.SweepStats(h, Options{
+			Mode: browser.ModeHTTP, Network: NetWiFi, Sites: metaSites(), Impair: im,
+		}))
+		spdy := meanPLT(r.SweepStats(h, Options{
+			Mode: browser.ModeSPDY, Network: NetWiFi, Sites: metaSites(), Impair: im,
+		}))
+		if spdy >= http {
+			t.Errorf("impair=%+v: SPDY mean PLT %.3fs >= HTTP %.3fs; Figure 4 ordering inverted",
+				im, spdy, http)
+		}
+	}
+}
+
+// TestImpairedSweepParallelMatchesSerial extends the determinism
+// contract to impaired paths: Gilbert-Elliott state, reorder side
+// deliveries and pool-sourced duplicates all draw from the run RNG, so
+// a sweep with every impairment active must still be bit-for-bit
+// identical at any parallelism.
+func TestImpairedSweepParallelMatchesSerial(t *testing.T) {
+	h := Harness{Runs: 4, Seed: 21}
+	base := Options{
+		Mode: browser.ModeSPDY, Network: Net3G, Sites: metaSites(),
+		Impair: netem.Impairments{
+			GEGoodToBad: 0.01, GEBadToGood: 0.25, GELossBad: 0.4,
+			ReorderProb: 0.01, ReorderDelay: 10 * time.Millisecond,
+			DupProb:     0.01,
+			ExtraJitter: 5 * time.Millisecond,
+		},
+	}
+	serial := NewRunner(1).Sweep(h, base)
+	par := NewRunner(8).Sweep(h, base)
+	if len(serial) != len(par) {
+		t.Fatalf("length %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		s, g := serial[i], par[i]
+		if s.Opts.Seed != g.Opts.Seed {
+			t.Fatalf("run %d: seed %d vs %d", i, s.Opts.Seed, g.Opts.Seed)
+		}
+		sp, gp := s.PLTSeconds(), g.PLTSeconds()
+		if len(sp) != len(gp) {
+			t.Fatalf("run %d: %d vs %d pages", i, len(sp), len(gp))
+		}
+		for j := range sp {
+			if sp[j] != gp[j] {
+				t.Fatalf("run %d page %d: PLT %v vs %v", i, j, sp[j], gp[j])
+			}
+		}
+		if s.Retransmissions() != g.Retransmissions() {
+			t.Fatalf("run %d: retx %d vs %d", i, s.Retransmissions(), g.Retransmissions())
+		}
+		if s.Duration != g.Duration {
+			t.Fatalf("run %d: duration %v vs %v", i, s.Duration, g.Duration)
+		}
+		compareRecorders(t, "impaired-parallel", i, s.Recorder, g.Recorder)
+	}
+}

@@ -18,6 +18,7 @@ type FetchResult struct {
 	Body      []byte
 	FirstByte time.Duration // request write → SYN_REPLY
 	Done      time.Duration // request write → final DATA
+	Seq       int           // session-wide completion order (1 = finished first)
 	Pushed    bool          // arrived via server push, never requested
 	Err       error
 }
@@ -31,6 +32,7 @@ type SPDYClient struct {
 	mu          sync.Mutex
 	writeMu     sync.Mutex
 	nextID      uint32
+	finishSeq   int
 	streams     map[uint32]*clientStream
 	pingWaiters []pingWaiter
 	pushed      chan FetchResult
@@ -229,8 +231,13 @@ func (c *SPDYClient) readLoop() {
 	}
 }
 
-// finish must be called with c.mu held.
+// finish must be called with c.mu held. The completion sequence is
+// assigned here, in the read loop's frame order, so callers can recover
+// the exact wire-level completion order without comparing per-stream
+// clocks (whose start skew exceeds loopback inter-completion gaps).
 func (c *SPDYClient) finish(id uint32, st *clientStream) {
+	c.finishSeq++
+	st.res.Seq = c.finishSeq
 	st.res.Path = st.path
 	st.res.Done = time.Since(st.started)
 	if st.ch != nil {

@@ -36,7 +36,25 @@ type SPDYProxy struct {
 	mu       sync.Mutex
 	streams  int
 	sessions int
+	barrier  int
 	closed   bool
+}
+
+// SetBarrier makes each subsequently accepted session hold its write
+// loop until n response bodies have been fully enqueued. The live wire
+// is asynchronous — origin fetches race on goroutines — so without a
+// barrier the completion order of similarly-timed streams depends on
+// scheduler luck. With the barrier, every response is queued before the
+// first byte leaves, and the strict-priority drain alone decides the
+// order: the property the differential harness compares against the
+// simulator. n <= 0 (the default) disables the hold. A session whose
+// streams cannot produce n bodies (e.g. a fetch error replaced a body
+// with RST_STREAM) will stall; the barrier is a test-harness knob, not
+// a production mode.
+func (p *SPDYProxy) SetBarrier(n int) {
+	p.mu.Lock()
+	p.barrier = n
+	p.mu.Unlock()
 }
 
 // StartSPDYProxy listens for SPDY sessions on addr.
@@ -108,6 +126,8 @@ type proxySession struct {
 	queue      spdy.PriorityQueue[outFrame]
 	nextPushID uint32
 	flows      map[uint32]*streamFlow
+	barrier    int // write loop holds until bodies >= barrier (0 = off)
+	bodies     int // response bodies fully enqueued so far
 	closed     bool
 }
 
@@ -131,12 +151,16 @@ func newProxySession(p *SPDYProxy, conn net.Conn) *proxySession {
 		tc.SetWriteBuffer(16 << 10)
 		tc.SetNoDelay(true)
 	}
+	p.mu.Lock()
+	barrier := p.barrier
+	p.mu.Unlock()
 	s := &proxySession{
 		p:          p,
 		conn:       conn,
 		framer:     spdy.NewFramer(conn),
 		nextPushID: 2,
 		flows:      make(map[uint32]*streamFlow),
+		barrier:    barrier,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -250,6 +274,7 @@ func (s *proxySession) enqueueBody(streamID uint32, prio spdy.Priority, body []b
 		fl.parked = append(fl.parked, spdy.DataFrame{StreamID: streamID, Data: body[off:end]})
 	}
 	s.drainFlowLocked(streamID, fl)
+	s.bodies++
 	s.mu.Unlock()
 	s.cond.Signal()
 }
@@ -311,7 +336,7 @@ func (s *proxySession) push(parent spdy.SynStream, host, addr, path string) {
 func (s *proxySession) writeLoop() {
 	for {
 		s.mu.Lock()
-		for s.queue.Len() == 0 && !s.closed {
+		for (s.queue.Len() == 0 || s.bodies < s.barrier) && !s.closed {
 			s.cond.Wait()
 		}
 		if s.closed {

@@ -1,0 +1,125 @@
+package netem
+
+import (
+	"time"
+
+	"spdier/internal/sim"
+)
+
+// Impairments adds hostile wire behaviour to a link: bursty
+// (Gilbert-Elliott) loss, packet reordering, duplication, and extra
+// one-sided jitter. All randomness is drawn from the link's seeded RNG
+// in a fixed per-packet order, and every draw is gated on its knob
+// being enabled, so a zero Impairments value changes nothing — the
+// link's event and RNG streams are bit-identical to an unimpaired run,
+// and impaired sweeps replay bit-identically from their seed at any
+// parallelism.
+//
+// The per-accepted-packet draw order is: GE state transition, GE drop,
+// extra jitter, reorder, duplicate. (The base uniform LossRate and
+// Jitter draws of LinkConfig happen in their pre-existing positions.)
+type Impairments struct {
+	// Gilbert-Elliott bursty loss. The channel alternates between a
+	// Good and a Bad state; each packet first transitions the state
+	// (Good→Bad with probability GEGoodToBad, Bad→Good with
+	// GEBadToGood), then drops with the state's loss rate. Typical
+	// cellular-ish settings: GEGoodToBad 0.005, GEBadToGood 0.3,
+	// GELossGood 0, GELossBad 0.5 — rare loss episodes that then eat
+	// several packets in a row, the pattern Goel et al. show flips
+	// H2-vs-HTTP conclusions.
+	GEGoodToBad float64
+	GEBadToGood float64
+	GELossGood  float64
+	GELossBad   float64
+
+	// ReorderProb is the probability an accepted packet is pulled out
+	// of the FIFO delivery order and held for ReorderDelay extra
+	// propagation time, arriving behind packets sent after it.
+	// ReorderDelay <= 0 defaults to the link's propagation delay
+	// (doubling it for the straggler), or 1ms on a zero-delay link.
+	ReorderProb  float64
+	ReorderDelay time.Duration
+
+	// DupProb is the probability an accepted packet is delivered twice,
+	// the copy arriving one serialization time after the original.
+	// Pooled payloads must implement Duplicable or the copy is
+	// suppressed (delivering one pooled pointer twice would corrupt the
+	// pool when the receiver recycles it).
+	DupProb float64
+
+	// ExtraJitter adds a uniform [0, ExtraJitter) term to each packet's
+	// propagation delay, on top of LinkConfig.Jitter. Like the base
+	// jitter it cannot reorder on its own: FIFO delivery is still
+	// enforced for non-reordered packets.
+	ExtraJitter time.Duration
+}
+
+// Enabled reports whether any impairment knob is active.
+func (im Impairments) Enabled() bool {
+	return im.geEnabled() || im.ReorderProb > 0 || im.DupProb > 0 || im.ExtraJitter > 0
+}
+
+func (im Impairments) geEnabled() bool {
+	return im.GEGoodToBad > 0 || im.GELossGood > 0 || im.GELossBad > 0
+}
+
+// Duplicable lets a pooled payload supply an independent copy of itself
+// for duplicate delivery. Returning nil vetoes the duplicate.
+type Duplicable interface {
+	DupPayload() Payload
+}
+
+// WithImpairments returns a copy of the path config with the same
+// impairments applied to both directions.
+func (pc PathConfig) WithImpairments(im Impairments) PathConfig {
+	pc.Up.Impair = im
+	pc.Down.Impair = im
+	return pc
+}
+
+// geStep advances the Gilbert-Elliott channel state for one packet and
+// reports whether that packet is lost to the burst process. Only called
+// when geEnabled, so disabled runs draw nothing here.
+func (l *Link) geStep() bool {
+	im := &l.cfg.Impair
+	if l.geBad {
+		if im.GEBadToGood > 0 && l.rng.Bool(im.GEBadToGood) {
+			l.geBad = false
+		}
+	} else {
+		if im.GEGoodToBad > 0 && l.rng.Bool(im.GEGoodToBad) {
+			l.geBad = true
+		}
+	}
+	p := im.GELossGood
+	if l.geBad {
+		p = im.GELossBad
+	}
+	return p > 0 && l.rng.Bool(p)
+}
+
+// deliverAside schedules a delivery that bypasses the FIFO arrival ring
+// (reordered and duplicated packets). These use a per-event closure:
+// the prebound ring callbacks are only sound for monotone, in-order
+// arrival streams, which is exactly what these packets are not.
+func (l *Link) deliverAside(p Payload, size int, at sim.Time) {
+	l.loop.At(at, func() {
+		l.stats.Delivered++
+		l.stats.Bytes += int64(size)
+		if l.receiver != nil {
+			l.receiver(p)
+		}
+	})
+}
+
+// reorderHold returns how much extra propagation a reordered packet
+// suffers.
+func (l *Link) reorderHold() time.Duration {
+	if d := l.cfg.Impair.ReorderDelay; d > 0 {
+		return d
+	}
+	if l.cfg.Delay > 0 {
+		return l.cfg.Delay
+	}
+	return time.Millisecond
+}

@@ -1,0 +1,238 @@
+package netem
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"spdier/internal/sim"
+)
+
+// impairedLink builds a fast link with the given impairments.
+func impairedLink(loop *sim.Loop, im Impairments, seed uint64) *Link {
+	return fastLink(loop, LinkConfig{
+		BandwidthBPS: 100_000_000,
+		Delay:        20 * time.Millisecond,
+		QueueBytes:   1 << 30,
+		Impair:       im,
+	}, seed)
+}
+
+func TestGilbertElliottBurstLoss(t *testing.T) {
+	loop := sim.NewLoop()
+	l := impairedLink(loop, Impairments{
+		GEGoodToBad: 0.01,
+		GEBadToGood: 0.25,
+		GELossBad:   0.8,
+	}, 7)
+	l.SetReceiver(func(Payload) {})
+	accepted := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if l.Send(i, 100) {
+			accepted++
+		}
+	}
+	loop.RunUntilIdle()
+	st := l.Stats()
+	if st.DroppedBurst == 0 {
+		t.Fatal("no burst loss recorded")
+	}
+	if st.DroppedBurst+accepted != n {
+		t.Fatalf("accounting: %d dropped + %d accepted != %d", st.DroppedBurst, accepted, n)
+	}
+	// Stationary loss ≈ P(bad)·0.8 = (0.01/(0.01+0.25))·0.8 ≈ 3.1%.
+	rate := float64(st.DroppedBurst) / n
+	if rate < 0.015 || rate > 0.06 {
+		t.Fatalf("burst loss rate %.3f outside plausible band", rate)
+	}
+}
+
+func TestGilbertElliottLossIsBursty(t *testing.T) {
+	loop := sim.NewLoop()
+	l := impairedLink(loop, Impairments{
+		GEGoodToBad: 0.002,
+		GEBadToGood: 0.2,
+		GELossBad:   1.0,
+	}, 11)
+	l.SetReceiver(func(Payload) {})
+	// Record the run-length distribution of consecutive drops; with
+	// certain loss in Bad, mean burst length should be ≈ 1/0.2 = 5,
+	// far above the ≈1 of independent loss at the same average rate.
+	bursts, cur := []int{}, 0
+	for i := 0; i < 50000; i++ {
+		if l.Send(i, 100) {
+			if cur > 0 {
+				bursts = append(bursts, cur)
+				cur = 0
+			}
+		} else {
+			cur++
+		}
+	}
+	loop.RunUntilIdle()
+	if len(bursts) == 0 {
+		t.Fatal("no loss bursts observed")
+	}
+	total := 0
+	for _, b := range bursts {
+		total += b
+	}
+	mean := float64(total) / float64(len(bursts))
+	if mean < 3 {
+		t.Fatalf("mean burst length %.2f; want bursty (≥3)", mean)
+	}
+}
+
+func TestReorderingDeliversOutOfOrder(t *testing.T) {
+	loop := sim.NewLoop()
+	l := impairedLink(loop, Impairments{ReorderProb: 0.05, ReorderDelay: 5 * time.Millisecond}, 3)
+	var got []int
+	l.SetReceiver(func(p Payload) { got = append(got, p.(int)) })
+	const n = 2000
+	for i := 0; i < n; i++ {
+		l.Send(i, 200)
+	}
+	loop.RunUntilIdle()
+	if len(got) != n {
+		t.Fatalf("delivered %d/%d", len(got), n)
+	}
+	inversions := 0
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			inversions++
+		}
+	}
+	st := l.Stats()
+	if st.Reordered == 0 || inversions == 0 {
+		t.Fatalf("no reordering observed: stats=%d inversions=%d", st.Reordered, inversions)
+	}
+	// Every packet still arrives exactly once.
+	seen := make(map[int]bool, n)
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("packet %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+type dupPayload struct {
+	id     int
+	copies *int
+}
+
+func (d dupPayload) DupPayload() Payload {
+	*d.copies++
+	return dupPayload{id: d.id, copies: d.copies}
+}
+
+func TestDuplicationDeliversTwice(t *testing.T) {
+	loop := sim.NewLoop()
+	l := impairedLink(loop, Impairments{DupProb: 0.1}, 5)
+	counts := map[int]int{}
+	l.SetReceiver(func(p Payload) { counts[p.(dupPayload).id]++ })
+	copies := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		l.Send(dupPayload{id: i, copies: &copies}, 200)
+	}
+	loop.RunUntilIdle()
+	st := l.Stats()
+	if st.Duplicated == 0 {
+		t.Fatal("no duplicates")
+	}
+	if copies != st.Duplicated {
+		t.Fatalf("DupPayload called %d times, stats say %d", copies, st.Duplicated)
+	}
+	dups := 0
+	for id, c := range counts {
+		switch c {
+		case 1:
+		case 2:
+			dups++
+		default:
+			t.Fatalf("packet %d delivered %d times", id, c)
+		}
+	}
+	if dups != st.Duplicated {
+		t.Fatalf("%d packets seen twice, stats say %d", dups, st.Duplicated)
+	}
+	if st.Delivered != n+st.Duplicated {
+		t.Fatalf("Delivered=%d want %d", st.Delivered, n+st.Duplicated)
+	}
+}
+
+func TestExtraJitterDelaysButKeepsFIFO(t *testing.T) {
+	loop := sim.NewLoop()
+	l := impairedLink(loop, Impairments{ExtraJitter: 30 * time.Millisecond}, 9)
+	var got []int
+	l.SetReceiver(func(p Payload) { got = append(got, p.(int)) })
+	for i := 0; i < 500; i++ {
+		l.Send(i, 200)
+	}
+	loop.RunUntilIdle()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("extra jitter reordered: pos %d got %d", i, v)
+		}
+	}
+}
+
+// TestZeroImpairmentsBitIdentical asserts the inertness contract: a
+// zero Impairments value must not perturb the RNG stream or event
+// timing relative to a link that predates impairments at all.
+func TestZeroImpairmentsBitIdentical(t *testing.T) {
+	trace := func(im Impairments) string {
+		loop := sim.NewLoop()
+		l := fastLink(loop, LinkConfig{
+			BandwidthBPS: 5_000_000,
+			Delay:        30 * time.Millisecond,
+			Jitter:       10 * time.Millisecond,
+			LossRate:     0.05,
+			QueueBytes:   1 << 20,
+			Impair:       im,
+		}, 1234)
+		out := ""
+		l.SetReceiver(func(p Payload) {
+			out += fmt.Sprintf("%v@%v;", p, loop.Now())
+		})
+		for i := 0; i < 300; i++ {
+			l.Send(i, 700)
+		}
+		loop.RunUntilIdle()
+		return out
+	}
+	if trace(Impairments{}) != trace(Impairments{}) {
+		t.Fatal("same-seed runs differ")
+	}
+	if (Impairments{}).Enabled() {
+		t.Fatal("zero Impairments reports Enabled")
+	}
+}
+
+// TestImpairedRunsDeterministic asserts impaired delivery sequences are
+// a pure function of the seed.
+func TestImpairedRunsDeterministic(t *testing.T) {
+	im := Impairments{
+		GEGoodToBad: 0.01, GEBadToGood: 0.3, GELossBad: 0.6,
+		ReorderProb: 0.02, DupProb: 0.02, ExtraJitter: 5 * time.Millisecond,
+	}
+	trace := func(seed uint64) string {
+		loop := sim.NewLoop()
+		l := impairedLink(loop, im, seed)
+		out := ""
+		l.SetReceiver(func(p Payload) { out += fmt.Sprintf("%v@%v;", p, loop.Now()) })
+		for i := 0; i < 1000; i++ {
+			l.Send(i, 300)
+		}
+		loop.RunUntilIdle()
+		return out
+	}
+	if trace(77) != trace(77) {
+		t.Fatal("same seed produced different impaired traces")
+	}
+	if trace(77) == trace(78) {
+		t.Fatal("different seeds produced identical impaired traces (RNG not wired?)")
+	}
+}

@@ -46,6 +46,10 @@ type LinkConfig struct {
 	QueueBytes int
 	// LossRate is the independent per-packet drop probability.
 	LossRate float64
+	// Impair adds bursty loss, reordering, duplication and extra jitter.
+	// The zero value is inert: it draws no randomness and leaves the
+	// link's behaviour bit-identical to an unimpaired run.
+	Impair Impairments
 }
 
 func (c LinkConfig) queueLimit() int {
@@ -60,8 +64,11 @@ type LinkStats struct {
 	Sent         int
 	Delivered    int
 	DroppedQueue int
-	DroppedLoss  int
-	Bytes        int64
+	DroppedLoss  int   // independent (uniform) loss
+	DroppedBurst int   // Gilbert-Elliott burst loss
+	Reordered    int   // delivered out of FIFO order
+	Duplicated   int   // delivered twice
+	Bytes        int64 // delivered bytes, duplicates included
 }
 
 // Link is one direction of a network path.
@@ -79,6 +86,8 @@ type Link struct {
 	queuedBytes int
 	// lastArrival enforces FIFO delivery despite jitter.
 	lastArrival sim.Time
+	// geBad is the Gilbert-Elliott channel state (true = Bad/bursty).
+	geBad bool
 
 	// In-flight packets are tracked in two FIFO rings driven by two
 	// prebound callbacks, instead of one capturing closure per event.
@@ -149,6 +158,10 @@ func (l *Link) Send(p Payload, size int) bool {
 		l.stats.DroppedLoss++
 		return false
 	}
+	if l.cfg.Impair.geEnabled() && l.geStep() {
+		l.stats.DroppedBurst++
+		return false
+	}
 
 	// Radio gating: the packet cannot begin serialization before the
 	// radio is ready. ReadyAt also resets the RRC inactivity timers.
@@ -178,17 +191,52 @@ func (l *Link) Send(p Payload, size int) bool {
 			prop = l.cfg.Delay / 2
 		}
 	}
+	if ej := l.cfg.Impair.ExtraJitter; ej > 0 {
+		prop += time.Duration(l.rng.Float64() * float64(ej))
+	}
+
+	l.txq.push(size)
+	l.loop.At(done, l.onTxDone)
+
+	// Reordered packets are held for extra propagation and delivered
+	// outside the FIFO arrival ring: they neither wait for nor advance
+	// lastArrival, so later packets overtake them.
+	if rp := l.cfg.Impair.ReorderProb; rp > 0 && l.rng.Bool(rp) {
+		l.stats.Reordered++
+		arrive := done.Add(prop).Add(l.reorderHold())
+		l.deliverAside(p, size, arrive)
+		l.maybeDup(p, size, arrive, txTime)
+		return true
+	}
+
 	arrive := done.Add(prop)
 	if arrive < l.lastArrival {
 		arrive = l.lastArrival
 	}
 	l.lastArrival = arrive
 
-	l.txq.push(size)
-	l.loop.At(done, l.onTxDone)
 	l.arrivals.push(delivery{p: p, size: size})
 	l.loop.At(arrive, l.onArrival)
+	l.maybeDup(p, size, arrive, txTime)
 	return true
+}
+
+// maybeDup schedules a duplicate delivery of an accepted packet with
+// probability DupProb, one serialization time behind the original.
+func (l *Link) maybeDup(p Payload, size int, arrive sim.Time, txTime time.Duration) {
+	dp := l.cfg.Impair.DupProb
+	if dp <= 0 || !l.rng.Bool(dp) {
+		return
+	}
+	cp := p
+	if d, ok := p.(Duplicable); ok {
+		cp = d.DupPayload()
+	}
+	if cp == nil {
+		return
+	}
+	l.stats.Duplicated++
+	l.deliverAside(cp, size, arrive.Add(txTime))
 }
 
 // delivery is one queued arrival at the far end of a link.

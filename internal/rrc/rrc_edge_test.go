@@ -1,0 +1,175 @@
+package rrc
+
+import (
+	"testing"
+	"time"
+
+	"spdier/internal/sim"
+)
+
+// Edge-case suite for the timer races the basic tests do not reach:
+// activity landing just inside a demotion deadline, promotions racing a
+// pending demotion timer, and repeated idle/active cycling. Each case
+// drives the machine with a scripted sequence of ReadyAt calls and
+// asserts the exact resulting state at checkpoints plus the full
+// transition log — a demotion that sneaks through a promotion window
+// shows up as an extra transition even when the final state looks right.
+
+// step is one scripted activity event.
+type step struct {
+	at    time.Duration // absolute sim time of the ReadyAt call
+	bytes int
+}
+
+// check is one state assertion.
+type check struct {
+	at   time.Duration // absolute sim time to inspect at
+	want State
+}
+
+func runScript(t *testing.T, p Profile, steps []step, checks []check, wantTransitions []struct{ from, to State }) *Machine {
+	t.Helper()
+	loop := sim.NewLoop()
+	m := NewMachine(loop, p)
+	for _, s := range steps {
+		s := s
+		loop.At(sim.Time(s.at), func() { m.ReadyAt(s.bytes) })
+	}
+	for _, c := range checks {
+		c := c
+		loop.At(sim.Time(c.at), func() {
+			if got := m.State(); got != c.want {
+				t.Errorf("t=%v: state %v, want %v", c.at, got, c.want)
+			}
+		})
+	}
+	loop.RunUntilIdle()
+	if wantTransitions != nil {
+		trs := m.Transitions()
+		if len(trs) != len(wantTransitions) {
+			t.Fatalf("transition log %v, want %d entries", trs, len(wantTransitions))
+		}
+		for i, w := range wantTransitions {
+			if trs[i].From != w.from || trs[i].To != w.to {
+				t.Errorf("transition %d: %v -> %v, want %v -> %v",
+					i, trs[i].From, trs[i].To, w.from, w.to)
+			}
+		}
+	}
+	return m
+}
+
+func TestEdge3GActivityJustBeforeDemotionDeadline(t *testing.T) {
+	// Promotion completes at 2s; DCH→FACH would fire at 7s. Activity at
+	// 6.999s must push the demotion to 11.999s, not cancel it.
+	runScript(t, Profile3G(),
+		[]step{{0, 1400}, {6999 * time.Millisecond, 1400}},
+		[]check{
+			{7500 * time.Millisecond, DCH},  // old deadline passed, still DCH
+			{11900 * time.Millisecond, DCH}, // just inside the refreshed deadline
+			{12100 * time.Millisecond, FACH},
+		},
+		nil)
+}
+
+func TestEdge3GPromotionWhileDemotionPending(t *testing.T) {
+	// Enter FACH at 7s; FACH→IDLE is armed for 19s. At 18.9s a large
+	// write starts a 1.5s FACH→DCH promotion. The pending demotion timer
+	// fires at 19s — inside the promotion window — and must be swallowed
+	// by the promoting guard: the radio may never touch IDLE on its way
+	// up, and the log must show FACH→DCH, not FACH→IDLE→DCH.
+	m := runScript(t, Profile3G(),
+		[]step{{0, 1400}, {18900 * time.Millisecond, 1400}},
+		[]check{
+			{8 * time.Second, FACH},
+			{19100 * time.Millisecond, FACH}, // promotion pending: still FACH
+			{20500 * time.Millisecond, DCH},  // 18.9s + 1.5s = 20.4s
+		},
+		[]struct{ from, to State }{
+			{Idle3G, DCH}, {DCH, FACH}, {FACH, DCH}, {DCH, FACH}, {FACH, Idle3G},
+		})
+	if m.Promotions() != 2 {
+		t.Errorf("%d promotions, want 2 (cold + FACH→DCH)", m.Promotions())
+	}
+}
+
+func TestEdge3GBackToBackIdleGaps(t *testing.T) {
+	// Three bursts separated by > 17s of idle: each gap walks the full
+	// DCH→FACH→IDLE chain, and each new burst pays the cold promotion.
+	m := runScript(t, Profile3G(),
+		[]step{{0, 1400}, {25 * time.Second, 1400}, {50 * time.Second, 1400}},
+		[]check{
+			{24 * time.Second, Idle3G}, // 2+5+12=19s, fully idle before burst 2
+			{28 * time.Second, DCH},
+			{49 * time.Second, Idle3G},
+			{53 * time.Second, DCH},
+		},
+		[]struct{ from, to State }{
+			{Idle3G, DCH}, {DCH, FACH}, {FACH, Idle3G},
+			{Idle3G, DCH}, {DCH, FACH}, {FACH, Idle3G},
+			{Idle3G, DCH}, {DCH, FACH}, {FACH, Idle3G},
+		})
+	if m.Promotions() != 3 {
+		t.Errorf("%d promotions, want 3", m.Promotions())
+	}
+	if e := m.EnergyMilliJoules(); e <= 0 {
+		t.Errorf("energy %v mJ after three DCH episodes", e)
+	}
+}
+
+func TestEdgeLTEDRXWakeWhileLongDRXDemotionPending(t *testing.T) {
+	// Connected at 0.4s; ShortDRX at 0.5s; LongDRX at 0.9s; the LongDRX→
+	// IDLE release is armed for 12.4s. Waking at 12.39s starts a 40ms DRX
+	// exit — the release timer fires at 12.4s inside that window and must
+	// not drop the radio to RRC_IDLE underneath the promotion.
+	runScript(t, ProfileLTE(),
+		[]step{{0, 1400}, {12390 * time.Millisecond, 1400}},
+		[]check{
+			{1 * time.Second, LongDRX},
+			{12395 * time.Millisecond, LongDRX}, // wake in progress
+			{12500 * time.Millisecond, Continuous},
+		},
+		[]struct{ from, to State }{
+			{IdleLTE, Continuous}, {Continuous, ShortDRX}, {ShortDRX, LongDRX},
+			{LongDRX, Continuous}, {Continuous, ShortDRX}, {ShortDRX, LongDRX},
+			{LongDRX, IdleLTE},
+		})
+}
+
+func TestEdgeLTEShortDRXWakeRearmsDescent(t *testing.T) {
+	// Wake from ShortDRX (20ms) at 0.55s, then idle: the machine must
+	// restart the full descent from Continuous rather than resuming the
+	// old ShortDRX→LongDRX timer.
+	runScript(t, ProfileLTE(),
+		[]step{{0, 1400}, {550 * time.Millisecond, 1400}},
+		[]check{
+			{530 * time.Millisecond, ShortDRX},
+			{600 * time.Millisecond, Continuous}, // 0.55s + 20ms wake
+			{650 * time.Millisecond, Continuous}, // fresh 100ms idle window
+			{700 * time.Millisecond, ShortDRX},   // 0.57s + 100ms
+			{1200 * time.Millisecond, LongDRX},   // + 400ms
+		},
+		nil)
+}
+
+func TestEdgeRepeatedActivityHoldsContinuous(t *testing.T) {
+	// Activity every 80ms — inside the 100ms Continuous→ShortDRX timer —
+	// must hold LTE in Continuous indefinitely: exactly one transition.
+	steps := []step{{0, 1400}}
+	for at := 500 * time.Millisecond; at <= 2*time.Second; at += 80 * time.Millisecond {
+		steps = append(steps, step{at, 600})
+	}
+	loop := sim.NewLoop()
+	m := NewMachine(loop, ProfileLTE())
+	for _, s := range steps {
+		s := s
+		loop.At(sim.Time(s.at), func() { m.ReadyAt(s.bytes) })
+	}
+	loop.Run(sim.Time(2 * time.Second))
+	if m.State() != Continuous {
+		t.Fatalf("state %v, want Continuous under sustained activity", m.State())
+	}
+	if n := len(m.Transitions()); n != 1 {
+		t.Fatalf("%d transitions under sustained activity, want 1: %v", n, m.Transitions())
+	}
+}

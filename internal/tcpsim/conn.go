@@ -102,7 +102,18 @@ type Network struct {
 	path    *netem.Path
 	conns   []*Conn
 	segFree []*Segment
+	// segsLive counts segments handed out by getSeg and not yet retired
+	// through putSeg. Every segment retires exactly once — delivered,
+	// dropped at the queue/loss/burst stage, or duplicated-and-delivered
+	// — so a quiesced network must read zero; anything else is a pool
+	// leak or a double free.
+	segsLive int
 }
+
+// LiveSegments returns the number of outstanding pool segments. After
+// the loop runs idle it must be zero (negative values indicate a
+// double free).
+func (n *Network) LiveSegments() int { return n.segsLive }
 
 // Conns returns every connection endpoint created through this network.
 func (n *Network) Conns() []*Conn { return n.conns }
@@ -154,6 +165,7 @@ func NewNetwork(loop *sim.Loop, path *netem.Path) *Network {
 // to the link, the network demuxer returns them after handleSegment, so
 // steady-state traffic allocates no segments at all.
 func (n *Network) getSeg() *Segment {
+	n.segsLive++
 	if ln := len(n.segFree); segPooling && ln > 0 {
 		s := n.segFree[ln-1]
 		n.segFree = n.segFree[:ln-1]
@@ -165,6 +177,7 @@ func (n *Network) getSeg() *Segment {
 // putSeg zeroes a delivered segment and returns it to the pool, keeping
 // the Sack backing array so later ACKs reuse it.
 func (n *Network) putSeg(s *Segment) {
+	n.segsLive--
 	if !segPooling {
 		return
 	}
@@ -319,6 +332,9 @@ func newConn(loop *sim.Loop, cfg Config, id, dest string, isClient bool) *Conn {
 		if c.segsSinceAck > 0 {
 			c.sendAckNow()
 		}
+	}
+	if invOn {
+		c.cc = checkedCC{c.cc}
 	}
 	if e := cfg.Metrics.Lookup(dest); e != nil {
 		// Linux tcp_metrics: seed ssthresh and RTT state from the cache.
@@ -678,6 +694,9 @@ func (c *Conn) onRTO() {
 
 	c.rtt.backoff()
 	c.armRTO()
+	if invOn {
+		c.checkSender("onRTO")
+	}
 }
 
 func (c *Conn) retransmitSeg(s *sentSeg) {
@@ -718,9 +737,15 @@ func (c *Conn) handleSegment(seg *Segment) {
 	}
 	if seg.Len > 0 {
 		c.receiveData(seg)
+		if invOn {
+			c.checkReceiver("receiveData")
+		}
 	}
 	if seg.Flags&flagACK != 0 {
 		c.receiveAck(seg)
+		if invOn {
+			c.checkSender("receiveAck")
+		}
 	}
 	if seg.Flags&flagFIN != 0 && !c.finRcvd {
 		c.finRcvd = true
@@ -984,6 +1009,9 @@ func (c *Conn) receiveAck(seg *Segment) {
 		if c.undoRetrans <= 0 {
 			c.performUndo()
 		}
+	}
+	if invOn {
+		c.checkAckValid(seg)
 	}
 	ack := seg.Ack
 	if ack > c.sndNxt {

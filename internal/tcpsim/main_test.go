@@ -1,0 +1,17 @@
+package tcpsim
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain arms the protocol invariant checker for the entire package
+// suite: every existing test — handshakes, loss recovery, F-RTO, undo,
+// SACK, idle restarts, the property-based sweeps — now runs with
+// sequence/byte accounting, cwnd/ssthresh legality, RTO monotonicity
+// and ack-validity audited at every commit point, and panics on the
+// first violation.
+func TestMain(m *testing.M) {
+	EnableInvariants(nil)
+	os.Exit(m.Run())
+}

@@ -86,8 +86,15 @@ func (e *rttEstimator) clamp() {
 
 // backoff doubles the effective RTO after a timeout (RFC 6298 §5.5).
 func (e *rttEstimator) backoff() {
+	var before time.Duration
+	if invOn {
+		before = e.current()
+	}
 	if e.backoffN < 16 {
 		e.backoffN++
+	}
+	if invOn {
+		checkBackoffMonotone(before, e.current())
 	}
 }
 

@@ -13,6 +13,7 @@
 package tcpsim
 
 import (
+	"spdier/internal/netem"
 	"spdier/internal/sim"
 )
 
@@ -57,6 +58,25 @@ type Segment struct {
 
 // wireSize is the number of bytes the segment occupies on the link.
 func (s *Segment) wireSize() int { return headerBytes + s.Len + s.CtrlLen }
+
+// DupPayload implements netem.Duplicable for wire duplication: the
+// duplicate must be an independent copy, because delivered segments are
+// recycled into the pool — handing the same pointer to the demuxer
+// twice would recycle it twice and alias two future segments. The copy
+// comes from (and retires to) the same pool, with its own SACK backing
+// array.
+func (s *Segment) DupPayload() netem.Payload {
+	var cp *Segment
+	if s.to != nil && s.to.net != nil {
+		cp = s.to.net.getSeg()
+	} else {
+		cp = &Segment{}
+	}
+	sack := append(cp.Sack[:0], s.Sack...)
+	*cp = *s
+	cp.Sack = sack
+	return cp
+}
 
 // sentSeg is the sender's record of an in-flight segment.
 type sentSeg struct {

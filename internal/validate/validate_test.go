@@ -1,0 +1,86 @@
+package validate
+
+import (
+	"testing"
+
+	"spdier/internal/spdy"
+	"spdier/internal/webpage"
+)
+
+// TestCorpusIsWellFormed checks the invariants the determinism argument
+// rests on: strictly ascending priority (one object per class), a main
+// document small enough to never park on flow control, and consecutive
+// subresources at least two flow-control windows apart.
+func TestCorpusIsWellFormed(t *testing.T) {
+	pages := Pages()
+	if len(pages) < 3 {
+		t.Fatalf("%d differential pages, want >= 3", len(pages))
+	}
+	const window = 64 << 10
+	for _, pg := range pages {
+		if pg.Objects[0].Kind != webpage.KindHTML {
+			t.Errorf("%s: first object is %s, want html", pg.Name, pg.Objects[0].Kind)
+		}
+		if pg.Objects[0].Size > window {
+			t.Errorf("%s: main document %d bytes exceeds one flow-control window", pg.Name, pg.Objects[0].Size)
+		}
+		for i := 1; i < len(pg.Objects); i++ {
+			prev, cur := pg.Objects[i-1], pg.Objects[i]
+			pp := spdy.PriorityForType(string(prev.Kind))
+			cp := spdy.PriorityForType(string(cur.Kind))
+			if cp <= pp {
+				t.Errorf("%s: object %d priority %d not above %d", pg.Name, i, cp, pp)
+			}
+			if i >= 2 && cur.Size-prev.Size < 2*window {
+				t.Errorf("%s: subresource %d only %d bytes above its predecessor, want >= %d",
+					pg.Name, i, cur.Size-prev.Size, 2*window)
+			}
+		}
+	}
+}
+
+// TestSimAgreesWithLiveWire is the differential oracle itself: for every
+// corpus page, the simulator and the real SPDY wire must agree on
+// completion order, per-object byte counts and single-session
+// multiplexing.
+func TestSimAgreesWithLiveWire(t *testing.T) {
+	for _, pg := range Pages() {
+		pg := pg
+		t.Run(pg.Name, func(t *testing.T) {
+			simR, err := RunSim(pg, 1)
+			if err != nil {
+				t.Fatalf("sim replay: %v", err)
+			}
+			liveR, err := RunLive(pg)
+			if err != nil {
+				t.Fatalf("live replay: %v", err)
+			}
+			if err := Compare(simR, liveR); err != nil {
+				t.Fatalf("tracks disagree: %v\nsim:  %+v\nlive: %+v", err, simR, liveR)
+			}
+		})
+	}
+}
+
+// TestSimReplayDeterministic pins the sim track: same page, same seed,
+// identical replay; and the completion order must follow the priority
+// staircase exactly.
+func TestSimReplayDeterministic(t *testing.T) {
+	pg := Pages()[0]
+	a, err := RunSim(pg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(pg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Compare(a, b); err != nil {
+		t.Fatalf("same-seed sim replays differ: %v", err)
+	}
+	for i, o := range pg.Objects {
+		if a.Order[i] != o.Path() {
+			t.Fatalf("completion order %v does not follow the priority staircase", a.Order)
+		}
+	}
+}
