@@ -1,0 +1,130 @@
+// Package analysis is a self-contained static-analysis framework
+// modeled on golang.org/x/tools/go/analysis, built only on the standard
+// library so the repo lints itself without network access or external
+// module dependencies. It exists to enforce, at compile time, the
+// invariants every simulation result rests on: no wall-clock time in
+// the deterministic core, no global RNG, no order-dependent map
+// iteration feeding output or event scheduling, balanced pool
+// acquire/release, and named duration thresholds in probe/report code.
+//
+// The API mirrors x/tools deliberately (Analyzer, Pass, Diagnostic), so
+// if the real dependency ever becomes available the analyzers port over
+// with close to zero changes; until then cmd/simlint drives them both
+// standalone and through go vet's -vettool unitchecker protocol.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. Run inspects a single package
+// (one Pass) and reports findings through pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow <name> <reason> suppression directives.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces
+	// and why, shown by `simlint -help`.
+	Doc string
+
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries the per-package inputs an Analyzer.Run needs, and
+// collects its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// fileFilter, when non-nil, restricts reporting to positions whose
+	// file basename it accepts. The driver uses it to scope analyzers
+	// like clockarith to probe/report/metrics files without the
+	// analyzer itself knowing the repo layout.
+	fileFilter func(base string) bool
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos. Findings outside the pass's file
+// filter (when one is installed) are dropped.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.fileFilter != nil && !p.fileFilter(baseName(position.Filename)) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func baseName(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// RunAnalyzers executes each analyzer over the loaded package and
+// returns the combined diagnostics sorted by position. fileFilters maps
+// analyzer name to an optional per-file scope predicate.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, fileFilters map[string]func(base string) bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			fileFilter: fileFilters[a.Name],
+			diags:      &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer —
+// the stable order every driver mode prints in.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,82 @@
+// Package clockarith flags time.Duration comparisons against inline
+// numeric literals in probe/report code. A threshold like
+// `rtt > 200*time.Millisecond` buried in a report renderer is a magic
+// number two ways: the next reader cannot tell whether 200 ms is the
+// paper's figure, a display cutoff or a typo, and two call sites can
+// silently diverge. Thresholds must be named constants; comparisons
+// against 0 (sign tests) and against other named values are fine.
+package clockarith
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spdier/internal/analysis"
+)
+
+// Analyzer is the clockarith check.
+var Analyzer = &analysis.Analyzer{
+	Name: "clockarith",
+	Doc: "flag time.Duration comparisons against inline literals in probe/report code; " +
+		"thresholds must be named constants",
+	Run: run,
+}
+
+var compareOps = map[token.Token]bool{
+	token.LSS: true, token.GTR: true, token.LEQ: true,
+	token.GEQ: true, token.EQL: true, token.NEQ: true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, isBin := n.(*ast.BinaryExpr)
+			if !isBin || !compareOps[bin.Op] {
+				return true
+			}
+			if !isDuration(pass, bin.X) && !isDuration(pass, bin.Y) {
+				return true
+			}
+			for _, side := range []ast.Expr{bin.X, bin.Y} {
+				if lit := inlineLiteral(pass, side); lit != nil {
+					pass.Reportf(bin.Pos(), "time.Duration compared against inline literal %s; name this threshold as a constant", types.ExprString(ast.Unparen(side)))
+					return true
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isDuration(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	return t != nil && analysis.IsNamedType(t, "time", "Duration")
+}
+
+// inlineLiteral returns a numeric literal inside a constant comparison
+// operand that is not merely 0 (sign/emptiness tests are idiomatic) and
+// is not hidden behind a named constant. `500 * time.Millisecond` and
+// `time.Duration(30e9)` report their literal; `maxRTO`, `time.Second`
+// and `0` do not.
+func inlineLiteral(pass *analysis.Pass, e ast.Expr) *ast.BasicLit {
+	tv, known := pass.TypesInfo.Types[e]
+	if !known || tv.Value == nil {
+		return nil // not a constant expression at all
+	}
+	var found *ast.BasicLit
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch lit := n.(type) {
+		case *ast.BasicLit:
+			if (lit.Kind == token.INT || lit.Kind == token.FLOAT) && lit.Value != "0" {
+				found = lit
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package clockarith_test
+
+import (
+	"testing"
+
+	"spdier/internal/analysis/analysistest"
+	"spdier/internal/analysis/clockarith"
+)
+
+func TestClockArith(t *testing.T) {
+	analysistest.Run(t, clockarith.Analyzer, "clockarith")
+}

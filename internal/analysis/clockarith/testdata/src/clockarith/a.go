@@ -1,0 +1,31 @@
+// Package clockarith exercises duration-vs-literal comparisons
+// (flagged) against named constants and sign tests (allowed).
+package clockarith
+
+import "time"
+
+const slowThreshold = 200 * time.Millisecond
+
+func classify(rtt time.Duration) string {
+	if rtt > 200*time.Millisecond { // want `compared against inline literal`
+		return "slow"
+	}
+	if time.Duration(250000) < rtt { // want `compared against inline literal`
+		return "odd"
+	}
+	if rtt > slowThreshold { // named constant: fine
+		return "slow"
+	}
+	if rtt <= 0 { // sign test: fine
+		return "invalid"
+	}
+	if rtt == time.Second { // named unit with no literal: fine
+		return "exact"
+	}
+	if rtt < otherDeadline() { // non-constant operand: fine
+		return "soon"
+	}
+	return "fast"
+}
+
+func otherDeadline() time.Duration { return slowThreshold * 2 }

@@ -1,0 +1,12 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"spdier/internal/analysis/analysistest"
+	"spdier/internal/analysis/globalrand"
+)
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, globalrand.Analyzer, "globalrand")
+}

@@ -1,0 +1,30 @@
+// Package globalrand exercises global-source draws (banned) against
+// explicitly seeded generators (allowed).
+package globalrand
+
+import "math/rand"
+
+func bad() int {
+	n := rand.Intn(10)                 // want `rand\.Intn uses the process-global`
+	f := rand.Float64()                // want `rand\.Float64 uses the process-global`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand\.Shuffle uses the process-global`
+	return n + int(f)
+}
+
+// badNew: a generator built from an ambient source value is not
+// traceable to a seed at the construction site.
+func badNew(src rand.Source) *rand.Rand {
+	return rand.New(src) // want `rand\.New without an explicit rand\.NewSource`
+}
+
+// goodSeeded: rand.New(rand.NewSource(seed)) is a pure function of its
+// seed and stays legal (test helpers use it).
+func goodSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// goodMethods: draws on an owned generator are fine — the determinism
+// question was settled at construction.
+func goodMethods(rng *rand.Rand) int {
+	return rng.Intn(10)
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PkgFuncCall reports the package path and name of the function a call
+// invokes when the callee is a package-qualified identifier
+// (pkg.Func(...)); ok is false for method calls, locals and builtins.
+func PkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	pkgName, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	return pkgName.Imported().Path(), fn.Name(), true
+}
+
+// MethodCallName reports the method name of a call on a receiver value
+// (x.M(...)); ok is false for package-qualified function calls.
+func MethodCallName(info *types.Info, call *ast.CallExpr) (name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	if s, found := info.Selections[sel]; found && s.Kind() == types.MethodVal {
+		return s.Obj().Name(), true
+	}
+	return "", false
+}
+
+// IsNamedType reports whether t (after pointer indirection) is the
+// named type pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// EnclosingFunc returns the innermost function declaration or literal
+// body containing pos, searching file.
+func EnclosingFunc(file *ast.File, pos ast.Node) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > pos.End() || n.End() < pos.Pos() {
+			return false
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil && fn.Body.Pos() <= pos.Pos() && pos.End() <= fn.Body.End() {
+				body = fn.Body
+			}
+		case *ast.FuncLit:
+			if fn.Body.Pos() <= pos.Pos() && pos.End() <= fn.Body.End() {
+				body = fn.Body
+			}
+		}
+		return true
+	})
+	return body
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// ExportLookup resolves import paths to compiler export-data files. It
+// is seeded from `go list -export` output (standalone mode) or the vet
+// unitchecker config (vettool mode), and can fall back to invoking
+// `go list` per path for imports discovered late (testdata fixtures).
+type ExportLookup struct {
+	mu        sync.Mutex
+	exports   map[string]string // import path -> export file
+	importMap map[string]string // source import path -> canonical
+	golist    bool              // fall back to `go list -export` on miss
+	dir       string            // working directory for the fallback
+}
+
+// NewExportLookup returns a lookup seeded with the given export map.
+// When golistFallback is set, unknown paths are resolved by shelling
+// out to `go list -export` in dir (module root), so stdlib and
+// module-local imports both work without pre-seeding.
+func NewExportLookup(exports, importMap map[string]string, golistFallback bool, dir string) *ExportLookup {
+	if exports == nil {
+		exports = map[string]string{}
+	}
+	return &ExportLookup{exports: exports, importMap: importMap, golist: golistFallback, dir: dir}
+}
+
+// Add registers the export file for an import path.
+func (l *ExportLookup) Add(path, file string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.exports[path] = file
+}
+
+func (l *ExportLookup) open(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	if mapped, ok := l.importMap[path]; ok {
+		path = mapped
+	}
+	file, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok && l.golist {
+		out, err := runGoList(l.dir, "-export", "-f", "{{.Export}}", path)
+		if err != nil {
+			return nil, fmt.Errorf("resolving %s: %w", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %s", path)
+		}
+		l.Add(path, file)
+		ok = true
+	}
+	if !ok {
+		return nil, fmt.Errorf("no export data for %s", path)
+	}
+	return os.Open(file)
+}
+
+// Importer returns a go/types importer that reads gc export data
+// through this lookup. The returned importer caches imported packages,
+// so it should be shared across all packages of one load.
+func (l *ExportLookup) Importer(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", l.open)
+}
+
+func runGoList(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v: %s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with the go tool, type-checks every matched
+// (non-dependency) package from source against export data for its
+// imports, and returns them in `go list` order. dir is the module root
+// the patterns are interpreted in.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"-export", "-deps", "-json"}, patterns...)
+	out, err := runGoList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	lookup := NewExportLookup(nil, nil, false, dir)
+	imp := lookup.Importer(fset)
+
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var lp listPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			lookup.Add(lp.ImportPath, lp.Export)
+		}
+		// -deps emits dependencies before dependents, so by the time a
+		// target package is type-checked every import (stdlib or
+		// module-local) already has export data registered.
+		if lp.DepOnly {
+			continue
+		}
+		var files []string
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		pkg, err := TypeCheck(fset, imp, lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// TypeCheck parses and type-checks one package from the given source
+// files, resolving imports through imp.
+func TypeCheck(fset *token.FileSet, imp types.Importer, importPath, dir string, files []string) (*Package, error) {
+	var astFiles []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		astFiles = append(astFiles, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, astFiles, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      astFiles,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// LoadDir parses and type-checks a bare directory of Go files that is
+// not a listable package (a testdata fixture), resolving its imports by
+// shelling out to `go list -export` from moduleRoot. The directory's
+// files must all belong to one package.
+func LoadDir(dir, moduleRoot string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	lookup := NewExportLookup(nil, nil, true, moduleRoot)
+	return TypeCheck(fset, lookup.Importer(fset), dir, dir, files)
+}

@@ -1,0 +1,215 @@
+// Package maprange flags map iteration whose body performs
+// order-sensitive work: emitting output, accumulating into a slice that
+// outlives the loop, scheduling simulator events, or sending on a
+// channel. Go randomizes map iteration order per execution, so any such
+// loop is a latent bit-equality breaker — the classic way a
+// deterministic simulator quietly stops being one. The accepted idiom
+// is collect-keys-then-sort, which the analyzer recognizes and leaves
+// alone: an append of loop state into a slice that is subsequently
+// passed to sort/slices is ordered by the sort, not the map.
+//
+// Purely commutative bodies (counting, summing, building another map,
+// writing through a deterministic index) are not flagged.
+package maprange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"spdier/internal/analysis"
+)
+
+// Analyzer is the maprange check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: "flag range-over-map loops that emit output, accumulate slices, schedule events or send on " +
+		"channels — map order is randomized per run; sort keys first",
+	Run: run,
+}
+
+// schedulers are method names that enqueue simulator events; calling
+// one per map entry schedules events in random order, which reorders
+// every later tiebreak in the event loop.
+var schedulers = map[string]bool{
+	"After": true, "At": true, "AtTime": true, "Schedule": true, "AfterFunc": true,
+}
+
+// printers are fmt functions that render output directly.
+var printers = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// writeMethods are output-sink method names (io.Writer, bytes.Buffer,
+// strings.Builder, the repo's Report type).
+var writeMethods = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, isRange := n.(*ast.RangeStmt)
+			if !isRange {
+				return true
+			}
+			t := pass.TypesInfo.Types[rng.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkBody(pass, file, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt) {
+	sorted := sortedExprsAfter(pass, file, rng)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.SendStmt:
+			if declaredOutside(pass, stmt.Chan, rng) {
+				pass.Reportf(stmt.Pos(), "send on %s inside range over map: delivery order is randomized per run; sort the keys first", types.ExprString(stmt.Chan))
+			}
+		case *ast.AssignStmt:
+			checkAppend(pass, stmt, rng, sorted)
+		case *ast.CallExpr:
+			checkCall(pass, stmt, rng)
+		}
+		return true
+	})
+}
+
+// checkCall flags output and event-scheduling calls inside the loop.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, rng *ast.RangeStmt) {
+	if pkgPath, name, isPkgFn := analysis.PkgFuncCall(pass.TypesInfo, call); isPkgFn {
+		if pkgPath == "fmt" && printers[name] {
+			pass.Reportf(call.Pos(), "fmt.%s inside range over map: output order is randomized per run; sort the keys first", name)
+		}
+		return
+	}
+	name, isMethod := analysis.MethodCallName(pass.TypesInfo, call)
+	if !isMethod {
+		return
+	}
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if schedulers[name] {
+		pass.Reportf(call.Pos(), "%s.%s schedules an event inside range over map: events enqueue in randomized order; sort the keys first", types.ExprString(sel.X), name)
+		return
+	}
+	if writeMethods[name] && declaredOutside(pass, sel.X, rng) {
+		pass.Reportf(call.Pos(), "%s.%s inside range over map: output order is randomized per run; sort the keys first", types.ExprString(sel.X), name)
+	}
+}
+
+// checkAppend flags `v = append(v, ...)` where v outlives the loop and
+// is never subsequently sorted in the enclosing function.
+func checkAppend(pass *analysis.Pass, stmt *ast.AssignStmt, rng *ast.RangeStmt, sorted map[string]bool) {
+	for i, rhs := range stmt.Rhs {
+		call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+		if !isCall || len(stmt.Lhs) <= i {
+			continue
+		}
+		if id, isID := ast.Unparen(call.Fun).(*ast.Ident); !isID || id.Name != "append" {
+			continue
+		} else if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			continue
+		}
+		lhs := stmt.Lhs[i]
+		if !declaredOutside(pass, lhs, rng) {
+			continue
+		}
+		if sorted[types.ExprString(lhs)] {
+			continue // collect-then-sort idiom: order restored after the loop
+		}
+		if keyedScatter(pass, lhs, rng) {
+			// out[key] = append(out[key], v): each map key owns its own
+			// bucket, so the per-bucket contents are independent of the
+			// iteration order — a commutative scatter, not accumulation.
+			continue
+		}
+		pass.Reportf(stmt.Pos(), "append to %s inside range over map accumulates in randomized order; sort it afterwards or iterate sorted keys", types.ExprString(lhs))
+	}
+}
+
+// declaredOutside reports whether expr refers to storage declared
+// outside the range statement (so per-iteration effects on it outlive
+// the loop and their order is observable). Selector and index targets
+// are conservatively treated as outside.
+func declaredOutside(pass *analysis.Pass, expr ast.Expr, rng *ast.RangeStmt) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[e]
+		}
+		if obj == nil {
+			return true
+		}
+		return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	}
+	return true
+}
+
+// keyedScatter reports whether lhs is an index expression whose index
+// mentions the range statement's key or value variable, so every
+// iteration writes a distinct, key-owned bucket.
+func keyedScatter(pass *analysis.Pass, lhs ast.Expr, rng *ast.RangeStmt) bool {
+	idx, isIdx := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !isIdx {
+		return false
+	}
+	loopVars := map[types.Object]bool{}
+	for _, v := range []ast.Expr{rng.Key, rng.Value} {
+		if v == nil {
+			continue
+		}
+		if id, isID := ast.Unparen(v).(*ast.Ident); isID {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	mentions := false
+	ast.Inspect(idx.Index, func(n ast.Node) bool {
+		if id, isID := n.(*ast.Ident); isID && loopVars[pass.TypesInfo.Uses[id]] {
+			mentions = true
+		}
+		return !mentions
+	})
+	return mentions
+}
+
+// sortedExprsAfter collects the rendered form of every expression that
+// is passed to a sort.* / slices.Sort* call after the range loop in the
+// same function — the targets of the collect-then-sort idiom.
+func sortedExprsAfter(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt) map[string]bool {
+	out := map[string]bool{}
+	body := analysis.EnclosingFunc(file, rng)
+	if body == nil {
+		return out
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall || call.Pos() < rng.End() {
+			return true
+		}
+		pkgPath, _, isPkgFn := analysis.PkgFuncCall(pass.TypesInfo, call)
+		if !isPkgFn || (pkgPath != "sort" && pkgPath != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			out[types.ExprString(ast.Unparen(arg))] = true
+		}
+		return true
+	})
+	return out
+}

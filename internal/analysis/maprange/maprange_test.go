@@ -1,0 +1,12 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"spdier/internal/analysis/analysistest"
+	"spdier/internal/analysis/maprange"
+)
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, maprange.Analyzer, "maprange")
+}

@@ -1,0 +1,12 @@
+package poolbalance_test
+
+import (
+	"testing"
+
+	"spdier/internal/analysis/analysistest"
+	"spdier/internal/analysis/poolbalance"
+)
+
+func TestPoolBalance(t *testing.T) {
+	analysistest.Run(t, poolbalance.Analyzer, "poolbalance")
+}

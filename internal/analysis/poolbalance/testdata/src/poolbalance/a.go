@@ -1,0 +1,66 @@
+// Package poolbalance exercises acquisition-site leaks and sync.Pool
+// Get/Put asymmetry against balanced usage.
+package poolbalance
+
+import "sync"
+
+type segment struct{ n int }
+
+type network struct {
+	free []*segment
+}
+
+func (n *network) getSeg() *segment {
+	if ln := len(n.free); ln > 0 {
+		s := n.free[ln-1]
+		n.free = n.free[:ln-1]
+		return s
+	}
+	return &segment{}
+}
+
+func (n *network) putSeg(s *segment) { n.free = append(n.free, s) }
+
+// discard: the classic leak — acquire and drop on the floor.
+func discard(n *network) {
+	n.getSeg() // want `result of n\.getSeg discarded`
+}
+
+// reacquireLeak: the second acquisition overwrites s and is never
+// consumed; the first segment was released, the second cannot be.
+func reacquireLeak(n *network) {
+	s := n.getSeg()
+	n.putSeg(s)
+	s = n.getSeg() // want `s acquired from n\.getSeg is never used afterwards`
+}
+
+// balanced: one acquire, one release — silent.
+func balanced(n *network) {
+	s := n.getSeg()
+	n.putSeg(s)
+}
+
+// passedOn: handing the segment to any call counts as consumption; the
+// release path is the callee's concern (and the runtime audit's).
+func passedOn(n *network, deliver func(*segment)) {
+	s := n.getSeg()
+	deliver(s)
+}
+
+// leakyPool is Get from below but never Put anywhere in the package.
+var leakyPool = sync.Pool{New: func() any { return new(segment) }} // want `leakyPool has Get calls but no Put`
+
+func usesLeaky() *segment {
+	return leakyPool.Get().(*segment)
+}
+
+// balancedPool sees both directions.
+var balancedPool = sync.Pool{New: func() any { return new(segment) }}
+
+func getBalanced() *segment  { return balancedPool.Get().(*segment) }
+func putBalanced(s *segment) { balancedPool.Put(s) }
+
+// discardGet: dropping a pooled object at the Get site.
+func discardGet() {
+	balancedPool.Get() // want `result of balancedPool\.Get discarded`
+}

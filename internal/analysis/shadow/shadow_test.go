@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"spdier/internal/analysis/analysistest"
+	"spdier/internal/analysis/shadow"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, shadow.Analyzer, "shadow")
+}

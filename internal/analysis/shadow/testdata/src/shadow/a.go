@@ -1,0 +1,57 @@
+// Package shadow exercises lost-write shadows (flagged) against
+// init-statement scoping and deliberate narrowing (allowed).
+package shadow
+
+import "errors"
+
+func step() error { return nil }
+
+// lostWrite is the bug signature: the inner := was almost certainly
+// meant to be =, and the outer err the function returns never sees the
+// failure.
+func lostWrite(fail bool) error {
+	var err error
+	if fail {
+		err := errors.New("boom") // want `declaration of "err" shadows`
+		_ = err
+	}
+	return err
+}
+
+// initScoped: declarations in if/for/switch init clauses cannot outlive
+// their statement — idiomatic, silent.
+func initScoped() error {
+	var err error
+	if err := step(); err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// narrowing: the outer x is never used after the inner scope, so the
+// shadow cannot lose a write anyone reads.
+func narrowing(flip bool) int {
+	x := 1
+	y := x
+	if flip {
+		x := 2
+		y += x
+	}
+	return y
+}
+
+// differentType: same name, different type — a rebinding, not a lost
+// write.
+func differentType(s string) int {
+	n := len(s)
+	{
+		n := "inner"
+		_ = n
+	}
+	return n
+}

@@ -1,0 +1,142 @@
+// Package simlint assembles the repo's analyzer suite and the policy
+// mapping analyzers to the packages whose invariants they guard. The
+// analyzers themselves are policy-free; this package is where the
+// repo's layout is encoded, and cmd/simlint is a thin driver over it.
+//
+// The deterministic set is exactly the packages that execute between a
+// root seed and a Result: the event loop (sim), the transport model
+// (tcpsim), the path emulator (netem), the radio state machine (rrc),
+// the client model (browser), the workload (webpage), the sweep engine
+// (experiment) and the aggregators (stats). Code outside the set —
+// liveproxy, validate, httpwire, cmd — talks to real sockets and real
+// time by design, so wall-clock and goroutine-order effects are part of
+// its contract, not a bug.
+package simlint
+
+import (
+	"strings"
+
+	"spdier/internal/analysis"
+	"spdier/internal/analysis/clockarith"
+	"spdier/internal/analysis/globalrand"
+	"spdier/internal/analysis/maprange"
+	"spdier/internal/analysis/poolbalance"
+	"spdier/internal/analysis/shadow"
+	"spdier/internal/analysis/wallclock"
+)
+
+// Analyzers is the full suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	wallclock.Analyzer,
+	globalrand.Analyzer,
+	maprange.Analyzer,
+	poolbalance.Analyzer,
+	clockarith.Analyzer,
+	shadow.Analyzer,
+}
+
+// DeterministicPackages are the packages whose outputs must be a pure
+// function of (Options, seed). See the package comment for the
+// rationale behind the membership.
+var DeterministicPackages = []string{
+	"spdier/internal/sim",
+	"spdier/internal/tcpsim",
+	"spdier/internal/netem",
+	"spdier/internal/rrc",
+	"spdier/internal/browser",
+	"spdier/internal/webpage",
+	"spdier/internal/experiment",
+	"spdier/internal/stats",
+}
+
+// pooledPackages additionally run the pool-discipline check: they own
+// sync.Pools or segment pools but are not (all) in the deterministic
+// set. proxy sits on the sim side of the SPDY framing and shares the
+// segment pool through tcpsim.
+var pooledPackages = []string{
+	"spdier/internal/spdy",
+	"spdier/internal/proxy",
+}
+
+func isDeterministic(importPath string) bool {
+	for _, p := range DeterministicPackages {
+		if importPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+func isPooled(importPath string) bool {
+	for _, p := range pooledPackages {
+		if importPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// probeReportFile scopes clockarith to the files that render or record
+// measurements — where a magic duration threshold changes reported
+// numbers rather than simulated behaviour.
+func probeReportFile(base string) bool {
+	for _, marker := range []string{"probe", "report", "metrics", "stats", "streaming"} {
+		if strings.Contains(base, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// ForPackage returns the analyzers that apply to importPath plus any
+// per-analyzer file filters. Packages outside the module get nothing.
+func ForPackage(importPath string) ([]*analysis.Analyzer, map[string]func(string) bool) {
+	var out []*analysis.Analyzer
+	filters := map[string]func(string) bool{}
+	if isDeterministic(importPath) {
+		out = append(out,
+			wallclock.Analyzer,
+			globalrand.Analyzer,
+			maprange.Analyzer,
+			poolbalance.Analyzer,
+			clockarith.Analyzer,
+		)
+		filters[clockarith.Analyzer.Name] = probeReportFile
+	} else if isPooled(importPath) {
+		out = append(out, poolbalance.Analyzer)
+	}
+	if strings.HasPrefix(importPath, "spdier/") || importPath == "spdier" {
+		out = append(out, shadow.Analyzer)
+	}
+	return out, filters
+}
+
+// Check runs the applicable analyzers over one loaded package and
+// applies //lint:allow suppressions. The returned diagnostics are the
+// unsuppressed findings plus any malformed-directive findings.
+func Check(pkg *analysis.Package) ([]analysis.Diagnostic, error) {
+	analyzers, filters := ForPackage(pkg.ImportPath)
+	if len(analyzers) == 0 {
+		return nil, nil
+	}
+	diags, err := analysis.RunAnalyzers(pkg, analyzers, filters)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.ApplySuppressions(pkg.Fset, pkg.Files, diags), nil
+}
+
+// CheckDir runs the ENTIRE suite, unscoped, over a bare directory of Go
+// files (a seeded violation fixture under testdata). Suppressions still
+// apply, so fixtures can exercise those too.
+func CheckDir(dir, moduleRoot string) ([]analysis.Diagnostic, error) {
+	pkg, err := analysis.LoadDir(dir, moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := analysis.RunAnalyzers(pkg, Analyzers, nil)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.ApplySuppressions(pkg.Fset, pkg.Files, diags), nil
+}

@@ -1,0 +1,139 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"spdier/internal/analysis"
+)
+
+// apply parses src as test.go and filters diags through its directives.
+func apply(t *testing.T, src string, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return analysis.ApplySuppressions(fset, []*ast.File{f}, diags)
+}
+
+func diag(line int, analyzer, msg string) analysis.Diagnostic {
+	return analysis.Diagnostic{
+		Pos:      token.Position{Filename: "test.go", Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestTrailingDirectiveSuppressesOwnLine(t *testing.T) {
+	src := `package p
+
+func f() {
+	g() //lint:allow wallclock startup banner, outside the simulated clock
+}
+
+func g() {}
+`
+	out := apply(t, src, []analysis.Diagnostic{diag(4, "wallclock", "time.Now ...")})
+	if len(out) != 0 {
+		t.Fatalf("want finding suppressed, got %v", out)
+	}
+}
+
+func TestOwnLineDirectiveShieldsNextLine(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow wallclock startup banner, outside the simulated clock
+	g()
+}
+
+func g() {}
+`
+	out := apply(t, src, []analysis.Diagnostic{diag(5, "wallclock", "time.Now ...")})
+	if len(out) != 0 {
+		t.Fatalf("want finding suppressed, got %v", out)
+	}
+}
+
+func TestDirectiveWithoutReasonIsRejected(t *testing.T) {
+	src := `package p
+
+func f() {
+	g() //lint:allow wallclock
+}
+
+func g() {}
+`
+	out := apply(t, src, []analysis.Diagnostic{diag(4, "wallclock", "time.Now ...")})
+	// The broken directive must surface AND must not suppress anything.
+	var sawDirective, sawOriginal bool
+	for _, d := range out {
+		switch d.Analyzer {
+		case analysis.DirectiveAnalyzerName:
+			sawDirective = true
+			if !strings.Contains(d.Message, "reason") {
+				t.Errorf("directive diagnostic does not mention the missing reason: %q", d.Message)
+			}
+		case "wallclock":
+			sawOriginal = true
+		}
+	}
+	if !sawDirective {
+		t.Errorf("reasonless //lint:allow produced no %s diagnostic: %v", analysis.DirectiveAnalyzerName, out)
+	}
+	if !sawOriginal {
+		t.Errorf("reasonless //lint:allow suppressed the finding anyway: %v", out)
+	}
+}
+
+func TestDirectiveWithoutAnalyzerIsRejected(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow
+	g()
+}
+
+func g() {}
+`
+	out := apply(t, src, nil)
+	if len(out) != 1 || out[0].Analyzer != analysis.DirectiveAnalyzerName {
+		t.Fatalf("want one %s diagnostic, got %v", analysis.DirectiveAnalyzerName, out)
+	}
+}
+
+func TestDirectiveForOtherAnalyzerDoesNotSuppress(t *testing.T) {
+	src := `package p
+
+func f() {
+	g() //lint:allow globalrand wrong analyzer named here
+}
+
+func g() {}
+`
+	out := apply(t, src, []analysis.Diagnostic{diag(4, "wallclock", "time.Now ...")})
+	if len(out) != 1 || out[0].Analyzer != "wallclock" {
+		t.Fatalf("want the wallclock finding to survive, got %v", out)
+	}
+}
+
+func TestTrailingDirectiveDoesNotShieldNextLine(t *testing.T) {
+	src := `package p
+
+func f() {
+	g() //lint:allow wallclock covers this line only
+	g()
+}
+
+func g() {}
+`
+	out := apply(t, src, []analysis.Diagnostic{diag(5, "wallclock", "time.Now ...")})
+	if len(out) != 1 {
+		t.Fatalf("want the next-line finding to survive a trailing directive, got %v", out)
+	}
+}

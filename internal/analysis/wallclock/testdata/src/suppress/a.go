@@ -1,0 +1,30 @@
+// Package suppress exercises the //lint:allow directive paths the
+// driver applies on top of raw analyzer output.
+package suppress
+
+import "time"
+
+// ownLine: a directive alone on its line shields the next line.
+func ownLine() time.Time {
+	//lint:allow wallclock startup banner timestamp, never read inside the event loop
+	return time.Now()
+}
+
+// trailing: a directive at the end of the flagged line works too.
+func trailing() time.Time {
+	return time.Now() //lint:allow wallclock startup banner timestamp, never read inside the event loop
+}
+
+// wrongAnalyzer: suppressing a different analyzer does not shield this
+// finding.
+func wrongAnalyzer() time.Time {
+	//lint:allow maprange reason aimed at the wrong check
+	return time.Now() // want `time\.Now is wall-clock`
+}
+
+// shieldIsNarrow: a trailing directive covers only its own line, so the
+// line after it still reports.
+func shieldIsNarrow() time.Time {
+	_ = time.Now()    //lint:allow wallclock covers this line only
+	return time.Now() // want `time\.Now is wall-clock`
+}

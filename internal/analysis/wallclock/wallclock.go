@@ -1,0 +1,57 @@
+// Package wallclock forbids wall-clock time sources inside the
+// deterministic simulation packages. Every timestamp there must come
+// from the sim.Loop virtual clock: a single time.Now() or time.Sleep()
+// makes results depend on host speed and scheduling, which breaks the
+// serial-vs-parallel bit-equality the whole experiment pipeline is
+// built on. time.Duration values and arithmetic remain fine — only
+// reading or waiting on the real clock is banned.
+package wallclock
+
+import (
+	"go/ast"
+
+	"spdier/internal/analysis"
+)
+
+// banned lists the time-package functions that read or wait on the wall
+// clock. Constructors (NewTimer, NewTicker, After, AfterFunc, Tick) are
+// included: the timers they arm fire on real time, not simulated time.
+var banned = map[string]string{
+	"Now":       "read the sim.Loop clock (loop.Now()) instead",
+	"Sleep":     "schedule a callback with loop.After instead of blocking",
+	"Since":     "subtract sim.Loop timestamps instead",
+	"Until":     "subtract sim.Loop timestamps instead",
+	"NewTimer":  "use loop.After, which fires on simulated time",
+	"NewTicker": "use a rescheduling loop.After callback",
+	"After":     "use loop.After, which fires on simulated time",
+	"AfterFunc": "use loop.After, which fires on simulated time",
+	"Tick":      "use a rescheduling loop.After callback",
+}
+
+// Analyzer is the wallclock check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid wall-clock time (time.Now, time.Sleep, time.Since, timer constructors) " +
+		"in deterministic simulation packages; all time must come from the sim.Loop clock",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			pkgPath, name, isPkgFn := analysis.PkgFuncCall(pass.TypesInfo, call)
+			if !isPkgFn || pkgPath != "time" {
+				return true
+			}
+			if hint, isBanned := banned[name]; isBanned {
+				pass.Reportf(call.Pos(), "time.%s is wall-clock time in a deterministic package; %s", name, hint)
+			}
+			return true
+		})
+	}
+	return nil
+}

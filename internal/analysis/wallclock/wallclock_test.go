@@ -1,0 +1,19 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"spdier/internal/analysis/analysistest"
+	"spdier/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "wallclock")
+}
+
+// TestSuppressions drives the same analyzer through the driver's
+// //lint:allow filter: honoured with a reason, ignored for the wrong
+// analyzer, and scoped to a single line for trailing directives.
+func TestSuppressions(t *testing.T) {
+	analysistest.RunSuppressed(t, wallclock.Analyzer, "suppress")
+}

@@ -202,12 +202,12 @@ func TestLivePriorityOrdering(t *testing.T) {
 		mu.Unlock()
 	}
 	for i := 0; i < 3; i++ {
-		ch, err := client.Get("test.example", "/size/400000", 7)
-		if err != nil {
-			t.Fatalf("bulk get: %v", err)
+		bulkCh, bulkErr := client.Get("test.example", "/size/400000", 7)
+		if bulkErr != nil {
+			t.Fatalf("bulk get: %v", bulkErr)
 		}
 		wg.Add(1)
-		go collect("bulk", ch)
+		go collect("bulk", bulkCh)
 	}
 	time.Sleep(50 * time.Millisecond) // let bulk queue up at the proxy
 	ch, err := client.Get("test.example", "/size/2000", 0)
