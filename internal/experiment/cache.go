@@ -31,6 +31,9 @@ func CacheKey(opts Options) (key string, ok bool) {
 		o.SlowStartAfterIdleOff, o.ResetRTTAfterIdle, o.CC, o.NoMetricsCache)
 	fmt.Fprintf(&b, "|sess=%d|latebind=%t|pipe=%t|nobeacons=%t|fastorigin=%t|noundo=%t|lean=%t",
 		o.SPDYSessions, o.SPDYLateBinding, o.Pipelining, o.NoBeacons, o.FastOrigin, o.DisableUndo, o.LeanProbe)
+	// Loss-recovery fix arms change the simulation; configs that differ
+	// only in an arm must never alias.
+	fmt.Fprintf(&b, "|tlp=%t|rack=%t|frto=%t", o.TLP, o.RACK, o.FRTO)
 	// PromotionScale 1 and 0 both mean "unscaled"; canonicalize so they
 	// share a key, as they share a simulation.
 	promo := o.PromotionScale

@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"time"
+
+	"spdier/internal/browser"
+	"spdier/internal/netem"
+	"spdier/internal/stats"
+)
+
+func init() {
+	register("recovery", "Loss-recovery fix arms: TLP, RACK, F-RTO vs the spurious RTO", runRecovery)
+}
+
+// recoveryArms enumerates the fix-arm matrix: the paper-era stack, each
+// arm solo, and all three stacked — the composition Linux actually
+// ships. Table 2 / Figure 3 / Figure 4-style aggregates are re-derived
+// per cell.
+var recoveryArms = []struct {
+	name string
+	set  func(*Options)
+}{
+	{"paper-era", func(*Options) {}},
+	{"+tlp", func(o *Options) { o.TLP = true }},
+	{"+rack", func(o *Options) { o.RACK = true }},
+	{"+frto", func(o *Options) { o.FRTO = true }},
+	{"+all", func(o *Options) { o.TLP, o.RACK, o.FRTO = true, true, true }},
+}
+
+// recoveryScenarios picks the two path conditions the tentpole targets:
+// the clean 3G profile, where every retransmission after idle is the
+// paper's spurious promotion timeout, and the same profile under mild
+// Gilbert-Elliott burst loss, where genuine tail drops let TLP and RACK
+// contribute too.
+var recoveryScenarios = []struct {
+	name string
+	set  func(*Options)
+}{
+	{"3g-clean", func(*Options) {}},
+	{"3g-bursty", func(o *Options) {
+		o.Impair = netem.Impairments{
+			GEGoodToBad: 0.002, GEBadToGood: 0.4, GELossBad: 0.25,
+			ExtraJitter: 2 * time.Millisecond,
+		}
+	}},
+}
+
+// recoveryRow aggregates one (scenario, mode, arm) cell.
+type recoveryRow struct {
+	plt      float64
+	retx     float64
+	rto      float64
+	fast     float64
+	tlp      float64
+	rack     float64
+	undos    float64
+	spurious float64
+}
+
+func recoveryCell(h Harness, mode browser.Mode, scen, arm func(*Options)) recoveryRow {
+	o := Options{Mode: mode, Network: Net3G}
+	scen(&o)
+	arm(&o)
+	rs := sweepStats(h, o)
+	n := float64(len(rs))
+	var row recoveryRow
+	row.plt = stats.Mean(allPLTStats(rs))
+	for _, r := range rs {
+		row.retx += float64(r.Retx) / n
+		row.rto += float64(r.RTORetx) / n
+		row.fast += float64(r.FastRetx) / n
+		row.tlp += float64(r.TLPProbes) / n
+		row.rack += float64(r.RACKRetx) / n
+		row.undos += float64(r.FrtoUndos) / n
+		row.spurious += float64(r.Spurious) / n
+	}
+	return row
+}
+
+// runRecovery re-runs the paper's protocol comparison with each
+// loss-recovery fix arm enabled on the proxy stack, reporting the
+// per-cause retransmission ledger and how much of SPDY's PLT deficit
+// against HTTP each arm closes. The paper-era rows reproduce the
+// baseline experiments exactly (the arms are inert when off); the +frto
+// rows answer the question the paper leaves open in §6.2.1 — whether
+// undoing the spurious RTO in-protocol recovers what the RTT-reset
+// workaround recovers by avoidance.
+func runRecovery(h Harness) *Report {
+	r := NewReport("recovery", "Undoing the spurious RTO: TLP, RACK and F-RTO fix arms",
+		"the spurious promotion RTO is recoverable in-protocol: F-RTO's Eifel undo repairs the window damage the paper worked around by resetting the RTT estimate; TLP and RACK convert tail-drop timeouts into probe-triggered recovery under burst loss")
+	for _, scen := range recoveryScenarios {
+		r.Printf("== scenario %s ==", scen.name)
+		r.Printf("%-6s %-10s %8s %8s %6s %6s %6s %6s %6s %8s",
+			"mode", "arm", "plt_s", "retx", "rto", "fast", "tlp", "rack", "undo", "spurious")
+		rows := map[string]recoveryRow{}
+		for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
+			for _, arm := range recoveryArms {
+				row := recoveryCell(h, mode, scen.set, arm.set)
+				rows[string(mode)+arm.name] = row
+				r.Printf("%-6s %-10s %8.3f %8.1f %6.1f %6.1f %6.1f %6.1f %6.1f %8.1f",
+					mode, arm.name, row.plt, row.retx, row.rto, row.fast,
+					row.tlp, row.rack, row.undos, row.spurious)
+			}
+		}
+		httpBase := rows["http"+"paper-era"]
+		spdyBase := rows["spdy"+"paper-era"]
+		for _, arm := range recoveryArms[1:] {
+			spdy := rows["spdy"+arm.name]
+			r.Metric(scen.name+" spdy plt "+arm.name, spdy.plt, "s")
+			if spdyBase.spurious > 0 {
+				r.Metric(scen.name+" spdy spurious reduction "+arm.name,
+					100*(1-spdy.spurious/spdyBase.spurious), "%")
+			}
+			// Deficit closure: what fraction of SPDY's PLT gap to the HTTP
+			// baseline the arm recovers (only meaningful when SPDY trails).
+			if deficit := spdyBase.plt - httpBase.plt; deficit > 0 {
+				r.Metric(scen.name+" spdy deficit closed "+arm.name,
+					100*(spdyBase.plt-spdy.plt)/deficit, "%")
+			}
+		}
+		r.Metric(scen.name+" http plt paper-era", httpBase.plt, "s")
+		r.Metric(scen.name+" spdy plt paper-era", spdyBase.plt, "s")
+	}
+	return r
+}

@@ -10,15 +10,17 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite golden experiment reports")
 
 // TestGoldenReports pins the byte-exact rendering of representative
-// experiments: fig3 (the paper's headline PLT comparison) and table2
-// (the CC-variant sweep). Everything feeds these bytes — the RNG stream,
-// the TCP model, the RRC machine, the report formatting — so any
-// unintended behaviour change anywhere in the stack shows up as a
-// golden diff. Intended changes are re-blessed with `go test -run
-// TestGoldenReports -update ./internal/experiment/`.
+// experiments: fig3 (the paper's headline PLT comparison), table2 (the
+// CC-variant sweep) and recovery (the loss-recovery fix-arm matrix,
+// whose paper-era rows double as an arms-off baseline pin). Everything
+// feeds these bytes — the RNG stream, the TCP model, the RRC machine,
+// the report formatting — so any unintended behaviour change anywhere
+// in the stack shows up as a golden diff. Intended changes are
+// re-blessed with `go test -run TestGoldenReports -update
+// ./internal/experiment/`.
 func TestGoldenReports(t *testing.T) {
 	h := Harness{Runs: 2, Seed: 1}
-	for _, id := range []string{"fig3", "table2"} {
+	for _, id := range []string{"fig3", "table2", "recovery"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			spec, ok := Get(id)

@@ -80,6 +80,13 @@ type Options struct {
 	// (ablation for the §6.2.1 fix).
 	DisableUndo bool
 
+	// TLP, RACK and FRTO toggle the modern loss-recovery fix arms on
+	// every proxy-side connection (see internal/tcpsim/recovery.go).
+	// All off reproduces the paper-era stack bit for bit.
+	TLP  bool
+	RACK bool
+	FRTO bool
+
 	// Impair applies seeded wire impairments (Gilbert-Elliott bursty
 	// loss, reordering, duplication, extra jitter) to both directions of
 	// the access path. The zero value is inert and leaves the simulation
@@ -323,6 +330,9 @@ func Run(opts Options) *Result {
 	bcfg.ProxyTCP.SlowStartAfterIdle = !opts.SlowStartAfterIdleOff
 	bcfg.ProxyTCP.ResetRTTAfterIdle = opts.ResetRTTAfterIdle
 	bcfg.ProxyTCP.DisableUndo = opts.DisableUndo
+	bcfg.ProxyTCP.TLP = opts.TLP
+	bcfg.ProxyTCP.RACK = opts.RACK
+	bcfg.ProxyTCP.FRTO = opts.FRTO
 	if !opts.NoMetricsCache {
 		bcfg.ProxyTCP.Metrics = tcpsim.NewMetricsCache()
 	}

@@ -198,6 +198,85 @@ func TestFig4DirectionStableUnderImpairment(t *testing.T) {
 	}
 }
 
+// TestFRTOEngagesAndRepairsPromotionDamage is the tentpole's oracle at
+// session scale: on the paper's 3G think-time workload every idle gap
+// ends in a radio promotion, so the F-RTO arm must actually engage
+// (undos fire), and on a stack whose DSACK undo is ineffective —
+// where the baseline keeps the collapsed window for good — undoing the
+// spurious timeouts must not make pages slower, on either protocol.
+// (The conn-level TestFRTOUndoRepairsPromotionTimeout pins the sharp
+// per-connection claims: backoff cleared, ssthresh restored, spurious
+// retransmissions at the irreducible floor.)
+func TestFRTOEngagesAndRepairsPromotionDamage(t *testing.T) {
+	h := Harness{Runs: 3, Seed: 8}
+	r := NewRunner(2)
+	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY} {
+		base := r.SweepStats(h, Options{
+			Mode: mode, Network: Net3G, Sites: metaSites(), DisableUndo: true,
+		})
+		frto := r.SweepStats(h, Options{
+			Mode: mode, Network: Net3G, Sites: metaSites(), DisableUndo: true, FRTO: true,
+		})
+		undos := 0
+		for _, s := range frto {
+			undos += s.FrtoUndos
+		}
+		if undos == 0 {
+			t.Errorf("%s: F-RTO never engaged across %d promotion-heavy runs", mode, h.Runs)
+		}
+		for _, s := range base {
+			if s.FrtoUndos != 0 {
+				t.Errorf("%s seed %d: baseline reported %d F-RTO undos with the arm off",
+					mode, s.Seed, s.FrtoUndos)
+			}
+		}
+		bm, fm := meanPLT(base), meanPLT(frto)
+		if fm > bm {
+			t.Errorf("%s: undoing spurious RTOs slowed pages down: %.3fs -> %.3fs", mode, bm, fm)
+		}
+	}
+}
+
+// TestRecoveryArmsSweepParallelMatchesSerial extends the determinism
+// contract to the fix arms: probe timers, RACK reordering windows and
+// F-RTO undo decisions are all functions of simulated time and the run
+// RNG, so a fully-armed sweep over an impaired path must stay
+// bit-for-bit identical at any parallelism.
+func TestRecoveryArmsSweepParallelMatchesSerial(t *testing.T) {
+	h := Harness{Runs: 4, Seed: 31}
+	base := Options{
+		Mode: browser.ModeSPDY, Network: Net3G, Sites: metaSites(),
+		TLP: true, RACK: true, FRTO: true,
+		Impair: netem.Impairments{
+			GEGoodToBad: 0.01, GEBadToGood: 0.25, GELossBad: 0.4,
+			ReorderProb: 0.01, ReorderDelay: 10 * time.Millisecond,
+			DupProb:     0.01,
+			ExtraJitter: 5 * time.Millisecond,
+		},
+	}
+	serial := NewRunner(1).Sweep(h, base)
+	par := NewRunner(8).Sweep(h, base)
+	if len(serial) != len(par) {
+		t.Fatalf("length %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		s, g := serial[i], par[i]
+		sp, gp := s.PLTSeconds(), g.PLTSeconds()
+		if len(sp) != len(gp) {
+			t.Fatalf("run %d: %d vs %d pages", i, len(sp), len(gp))
+		}
+		for j := range sp {
+			if sp[j] != gp[j] {
+				t.Fatalf("run %d page %d: PLT %v vs %v", i, j, sp[j], gp[j])
+			}
+		}
+		if s.Retransmissions() != g.Retransmissions() {
+			t.Fatalf("run %d: retx %d vs %d", i, s.Retransmissions(), g.Retransmissions())
+		}
+		compareRecorders(t, "arms-parallel", i, s.Recorder, g.Recorder)
+	}
+}
+
 // TestImpairedSweepParallelMatchesSerial extends the determinism
 // contract to impaired paths: Gilbert-Elliott state, reorder side
 // deliveries and pool-sourced duplicates all draw from the run RNG, so

@@ -40,6 +40,16 @@ type RunStats struct {
 	RadioMJ    float64
 	DurationS  float64
 
+	// Per-cause retransmission ledger (the -exp recovery matrix). RTORetx
+	// and FastRetx partition the paper-era causes; TLPProbes, RACKRetx and
+	// FrtoUndos count fix-arm activity and are zero with the arms off.
+	// Retx above remains the wire total (RTO + fast + RACK + TLP probes).
+	RTORetx   int
+	FastRetx  int
+	TLPProbes int
+	RACKRetx  int
+	FrtoUndos int
+
 	// Probe aggregates (Table 2, Figure 13).
 	MeanCwnd float64
 	MaxCwnd  float64
@@ -82,6 +92,11 @@ func NewRunStats(res *Result) *RunStats {
 	if res.Recorder != nil {
 		rs.Retx = res.Recorder.Retransmissions()
 		rs.Spurious = res.Recorder.SpuriousRetransmissions()
+		rs.RTORetx = res.Recorder.Count(tcpsim.EvRetransmit)
+		rs.FastRetx = res.Recorder.Count(tcpsim.EvFastRetx)
+		rs.TLPProbes = res.Recorder.Count(tcpsim.EvTLPProbe)
+		rs.RACKRetx = res.Recorder.Count(tcpsim.EvRACKRetx)
+		rs.FrtoUndos = res.Recorder.Count(tcpsim.EvFRTOUndo)
 		rs.MeanCwnd = res.Recorder.MeanCwnd()
 		rs.MaxCwnd = res.Recorder.MaxCwnd()
 		byConn := map[string]int{}

@@ -24,6 +24,11 @@ type CongestionControl interface {
 	// OnLoss lets the variant snapshot state (CUBIC records W_max and
 	// restarts its epoch).
 	OnLoss(now sim.Time, cwnd float64)
+	// OnUndo is called when a loss episode is proven spurious and the
+	// connection restores its pre-loss cwnd/ssthresh (F-RTO / Eifel
+	// undo): the variant rolls back the bookkeeping OnLoss installed, so
+	// a phantom loss leaves no trace in its growth trajectory.
+	OnUndo(now sim.Time, cwnd float64)
 	// OnExitRecovery is called when recovery completes.
 	OnExitRecovery(now sim.Time, cwnd float64)
 	// Reset clears variant state (new connection or idle restart).
@@ -66,6 +71,7 @@ func (r *Reno) SsthreshAfterLoss(cwnd float64) float64 {
 }
 
 func (r *Reno) OnLoss(sim.Time, float64)         {}
+func (r *Reno) OnUndo(sim.Time, float64)         {}
 func (r *Reno) OnExitRecovery(sim.Time, float64) {}
 func (r *Reno) Reset()                           {}
 
@@ -79,6 +85,7 @@ type Cubic struct {
 	beta float64 // multiplicative decrease, 0.7
 
 	wMax       float64
+	priorWMax  float64 // wMax before the last OnLoss, for spurious-loss undo
 	epochStart sim.Time
 	hasEpoch   bool
 	k          float64 // time (s) to regrow to wMax
@@ -95,6 +102,7 @@ func (cu *Cubic) Name() string { return "cubic" }
 
 func (cu *Cubic) Reset() {
 	cu.wMax = 0
+	cu.priorWMax = 0
 	cu.hasEpoch = false
 	cu.k = 0
 	cu.ackCount = 0
@@ -102,10 +110,23 @@ func (cu *Cubic) Reset() {
 }
 
 func (cu *Cubic) OnLoss(now sim.Time, cwnd float64) {
+	cu.priorWMax = cu.wMax
 	// Fast convergence (RFC 8312 §4.6).
 	if cwnd < cu.wMax {
 		cu.wMax = cwnd * (1 + cu.beta) / 2
 	} else {
+		cu.wMax = cwnd
+	}
+	cu.hasEpoch = false
+}
+
+// OnUndo rolls back the last OnLoss: the loss was phantom, so the
+// fast-convergence W_max reduction must not depress the next epoch's
+// plateau (Linux tcp_cubic leaves this to the generic undo restoring
+// cwnd; restoring W_max keeps the cubic target consistent with it).
+func (cu *Cubic) OnUndo(now sim.Time, cwnd float64) {
+	cu.wMax = cu.priorWMax
+	if cu.wMax < cwnd {
 		cu.wMax = cwnd
 	}
 	cu.hasEpoch = false

@@ -61,6 +61,26 @@ type Config struct {
 	// modeling stacks whose undo machinery is ineffective — the ablation
 	// that recovers the paper's full §6.2.1 claim.
 	DisableUndo bool
+
+	// --- loss-recovery fix arms (recovery.go / rack.go / frto.go).
+	// Independently toggleable; all off reproduces the paper-era stack
+	// bit for bit. ---
+
+	// TLP enables tail loss probes: a probe timeout ≈ 2·srtt
+	// retransmits the tail (or sends one new segment) before the longer
+	// RTO can fire, converting tail-drop timeouts into ACK-driven
+	// recovery and pushing the re-armed RTO past short radio stalls.
+	TLP bool
+	// RACK enables time-based loss detection: a segment is marked lost
+	// when a segment sent at least a reordering window later has been
+	// delivered, replacing pure dupACK-count thresholds.
+	RACK bool
+	// FRTO enables RFC 5682 spurious-timeout handling with the full
+	// Eifel-style undo: when the first ACK after an RTO covers a
+	// never-retransmitted segment, cwnd/ssthresh/backoff and the CC
+	// variant's state are restored — the in-protocol fix for the
+	// paper's §6 pathology, applied without resetting the estimator.
+	FRTO bool
 }
 
 // DefaultConfig returns the Linux-like defaults used by the experiments.
@@ -136,8 +156,9 @@ func (c *Conn) releaseRuntime() {
 	c.sackScratch = nil
 	c.onEstablished, c.onDeliver, c.onClose = nil, nil, nil
 	c.writableHook = nil
-	c.onRTOFn, c.delayedAckFn = nil, nil
+	c.onRTOFn, c.delayedAckFn, c.onTLPFn = nil, nil, nil
 	c.rtoTimer, c.delayedAck = sim.Timer{}, sim.Timer{}
+	c.tlp = tlpState{}
 	c.cfg.Probe = nil
 }
 
@@ -272,6 +293,10 @@ type Conn struct {
 	undoEpisode  int // total retransmissions in the episode
 	Undos        int
 
+	// --- loss-recovery fix-arm state (inert unless the arm is on) ---
+	tlp  tlpState
+	rack rackState
+
 	// --- receiver half ---
 	rcvNxt       uint64
 	ooo          map[uint64]int
@@ -301,14 +326,27 @@ type Conn struct {
 	// ACK — are bound once at construction.
 	onRTOFn      func()
 	delayedAckFn func()
+	onTLPFn      func()
 
 	// --- counters ---
-	Retransmits      int // RTO-driven
+	Retransmits      int // RTO-driven (and SACK-hole repairs inside an episode)
 	FastRetransmits  int
+	RACKRetransmits  int // retransmissions of RACK-marked segments
+	TLPProbes        int // tail loss probes fired (retransmitted tail or new data)
+	FrtoUndos        int // F-RTO spurious verdicts with full Eifel undo
 	SpuriousArrivals int // duplicate data received (peer retransmitted needlessly)
 	IdleRestarts     int
 	BytesSentApp     int64
 	BytesRcvdApp     int64
+
+	// tlpNewData counts TLP probes that carried new data rather than a
+	// retransmission; retxWire counts wire-level retransmissions (every
+	// retransmitSeg call). Together they let the invariant checker prove
+	// each retransmission is attributed to exactly one cause:
+	// retxWire == Retransmits + FastRetransmits + RACKRetransmits +
+	// (TLPProbes - tlpNewData).
+	tlpNewData int
+	retxWire   int
 }
 
 func newConn(loop *sim.Loop, cfg Config, id, dest string, isClient bool) *Conn {
@@ -328,9 +366,10 @@ func newConn(loop *sim.Loop, cfg Config, id, dest string, isClient bool) *Conn {
 		peerWnd:  64 << 10,
 	}
 	c.onRTOFn = c.onRTO
+	c.onTLPFn = c.onTLP
 	c.delayedAckFn = func() {
 		if c.segsSinceAck > 0 {
-			c.sendAckNow()
+			c.sendAck(true)
 		}
 	}
 	if invOn {
@@ -486,7 +525,13 @@ func (c *Conn) maybeIdleRestart() {
 		return
 	}
 	idle := c.loop.Now().Sub(c.lastDataSend)
-	if idle <= c.rtt.current() {
+	// Compare against the un-backed-off timeout: whether the connection
+	// went idle is a property of the path's RTT, not of how many times a
+	// timer fired. Using the backed-off RTO here let a connection that
+	// had just suffered (possibly spurious) timeouts dodge window
+	// validation entirely, because its inflated RTO out-waited the idle
+	// gap.
+	if idle <= c.rtt.base() {
 		return
 	}
 	if c.cfg.SlowStartAfterIdle {
@@ -576,12 +621,12 @@ func (c *Conn) trySend() {
 			if !fl[i].lost || fl[i].sacked {
 				continue
 			}
+			cause := fl[i].lostBy
 			fl[i].lost = false
 			fl[i].retx = true
 			fl[i].sentAt = c.loop.Now()
 			c.retransmitSeg(&fl[i])
-			c.Retransmits++
-			c.probe(EvRetransmit)
+			c.noteRetransmit(cause)
 		}
 	}
 	c.wasCwndLimited = false
@@ -617,6 +662,7 @@ func (c *Conn) trySend() {
 			c.armRTO()
 		}
 	}
+	c.maybeArmTLP()
 	c.fireWritable()
 }
 
@@ -657,6 +703,7 @@ func (c *Conn) onRTO() {
 	if len(c.infl()) == 0 {
 		return
 	}
+	c.abortTLP() // conventional timeout recovery owns the flight now
 	if c.caState != caLoss {
 		// Entering loss: snapshot for a possible DSACK undo, then
 		// collapse ssthresh based on the current cwnd.
@@ -683,6 +730,7 @@ func (c *Conn) onRTO() {
 	for i := range fl {
 		if !fl[i].sacked {
 			fl[i].lost = true
+			fl[i].lostBy = causeRTO
 		}
 	}
 	first := &fl[0]
@@ -700,6 +748,7 @@ func (c *Conn) onRTO() {
 }
 
 func (c *Conn) retransmitSeg(s *sentSeg) {
+	c.retxWire++
 	if c.undoActive {
 		c.undoRetrans++
 		c.undoEpisode++
@@ -927,6 +976,16 @@ func (c *Conn) receiveData(seg *Segment) {
 	// ACK then cancels the pending delayed ACK. Doing this after the
 	// callback would leave a stale timer that later fires a duplicate
 	// pure ACK — which the peer would count toward fast retransmit.
+	//
+	// Note RFC 5681's SHOULD for immediately ACKing gap-fills is NOT
+	// implemented: the sender's NewReno inflation/deflation model is
+	// calibrated against coalesced partial ACKs, and per-fill immediate
+	// ACKs defeat its deflation entirely (cwnd -= 1; cwnd++ per ACK),
+	// which measurably inflates recovery-time sending on bursty links.
+	// What RFC 5681 makes mandatory for the sender's heuristics — that a
+	// duplicate ACK is never generated by the delayed-ACK timer — is
+	// enforced structurally below (the hole and duplicate branches above
+	// send immediately) and audited by the peer in processDupAck.
 	c.scheduleAck()
 	if c.onDeliver != nil {
 		c.onDeliver(advance)
@@ -934,8 +993,13 @@ func (c *Conn) receiveData(seg *Segment) {
 }
 
 // scheduleAck implements delayed ACKs: every second segment immediately,
-// otherwise after the delayed-ACK timeout.
+// otherwise after the delayed-ACK timeout. A pending DSACK must never
+// reach this path — duplicate arrivals report it with an immediate ACK,
+// and sitting on it would starve the peer's undo accounting.
 func (c *Conn) scheduleAck() {
+	if invOn && c.pendingDsack {
+		c.violateConn("scheduleAck", "delayed-ACK coalescing with a DSACK pending")
+	}
 	c.segsSinceAck++
 	if c.segsSinceAck >= 2 {
 		c.sendAckNow()
@@ -946,7 +1010,13 @@ func (c *Conn) scheduleAck() {
 	}
 }
 
-func (c *Conn) sendAckNow() {
+func (c *Conn) sendAckNow() { c.sendAck(false) }
+
+// sendAck emits a pure ACK; delayed marks it as released by the
+// delayed-ACK timer rather than triggered by an arrival, so the peer's
+// invariant checker can prove fast retransmit never fires off a
+// coalesced ACK.
+func (c *Conn) sendAck(delayed bool) {
 	c.ackPiggybacked()
 	if debugLog != nil {
 		debugLog(fmt.Sprintf("%v %s sendAck ack=%d dsack=%v", c.loop.Now(), c.id, c.rcvNxt, c.pendingDsack))
@@ -958,6 +1028,7 @@ func (c *Conn) sendAckNow() {
 	seg.Dsack = c.pendingDsack
 	seg.Sack = c.appendSackBlocks(seg.Sack[:0])
 	seg.TSEcr = c.tsRecent
+	seg.Delayed = delayed
 	c.transmit(seg)
 	c.pendingDsack = false
 }
@@ -1003,8 +1074,15 @@ func (c *Conn) ackPiggybacked() {
 // sampling under Karn's rule, window growth, NewReno recovery.
 func (c *Conn) receiveAck(seg *Segment) {
 	c.peerWnd = seg.Wnd
-	c.applySack(seg.Sack)
-	if seg.Dsack && c.undoActive && !c.cfg.DisableUndo {
+	c.applySack(seg)
+	if seg.Dsack && c.cfg.TLP && c.tlp.probing && !c.tlp.newData {
+		// The duplicate the receiver reports is the probe itself: the
+		// original tail arrived, so the open TLP episode is spurious and
+		// must resolve without a congestion penalty. Consume the DSACK
+		// here — it must not also count toward the undo bookkeeping of a
+		// loss episode the probe never opened.
+		c.tlp.dsacked = true
+	} else if seg.Dsack && c.undoActive && !c.cfg.DisableUndo {
 		c.undoRetrans--
 		if c.undoRetrans <= 0 {
 			c.performUndo()
@@ -1020,13 +1098,18 @@ func (c *Conn) receiveAck(seg *Segment) {
 	if ack > c.sndUna {
 		c.processNewAck(ack, seg)
 	} else if ack == c.sndUna && seg.Len == 0 && len(c.infl()) > 0 {
-		c.processDupAck()
+		c.processDupAck(seg)
 	}
+	// RACK runs after cumulative/SACK processing advanced the
+	// delivered-time watermark, and before transmission so trySend can
+	// repair anything it marks.
+	c.rackOnAck()
 	c.trySend()
 }
 
 func (c *Conn) processNewAck(ack uint64, seg *Segment) {
 	ackedSegs := 0
+	ackedOriginal := false
 	spuriousTimeout := false
 	for {
 		fl := c.infl()
@@ -1037,11 +1120,21 @@ func (c *Conn) processNewAck(ack uint64, seg *Segment) {
 		if s.seq+uint64(s.len) > ack {
 			break
 		}
-		if !s.retx && s.lost {
-			// F-RTO: the ACK covers a segment we marked lost but never
-			// retransmitted — the original made it through, so the
-			// timeout was spurious.
-			spuriousTimeout = true
+		if !s.retx {
+			ackedOriginal = true
+			if c.cfg.RACK {
+				c.rackSeen(s.sentAt, s.seq+uint64(s.len))
+			}
+			if s.lost {
+				// F-RTO: the ACK covers a segment we marked lost but
+				// never retransmitted — the original made it through, so
+				// the timeout was spurious.
+				spuriousTimeout = true
+			}
+		} else if c.cfg.RACK && seg.TSEcr > 0 && seg.TSEcr >= s.sentAt {
+			// Retransmission proven delivered by its timestamp echo
+			// (RFC 8985 §6.1): it advances the delivery watermark too.
+			c.rackSeen(s.sentAt, s.seq+uint64(s.len))
 		}
 		c.popInflightFront()
 		ackedSegs++
@@ -1052,17 +1145,29 @@ func (c *Conn) processNewAck(ack uint64, seg *Segment) {
 		for i := range fl {
 			fl[i].lost = false
 		}
+		if c.frtoEligible() {
+			c.frtoUndo()
+		}
 	}
 	c.sndUna = ack
-	c.rtt.progress()
-	// RFC 7323 RTT sampling: the ACK echoes the send timestamp of the
-	// segment that advanced the receiver's window, so the sample covers
-	// one true round trip — including any radio promotion stall the
-	// segment sat through, which is how the paper's RTO "grows large
-	// enough to accommodate the increased round trip time" (§5.5.1).
-	if seg.TSEcr > 0 {
+	// Karn's rule (RFC 6298 §5): an ACK covering only retransmitted data
+	// is ambiguous — it may acknowledge the original rather than the
+	// copy — so without further evidence it must neither feed the
+	// estimator nor clear the exponential backoff. A timestamp echo is
+	// that further evidence (RFC 7323 §4): TSEcr names the transmission
+	// that triggered the ACK, so the measured interval is one true round
+	// trip regardless of retransmission — including any radio promotion
+	// stall the segment sat through, which is how the paper's RTO "grows
+	// large enough to accommodate the increased round trip time"
+	// (§5.5.1).
+	tsValid := seg.TSEcr > 0
+	if ackedOriginal || tsValid {
+		c.rtt.progress()
+	}
+	if tsValid {
 		c.rtt.sample(c.loop.Now().Sub(seg.TSEcr))
 	}
+	c.resolveTLP(ack, seg)
 
 	switch c.caState {
 	case caOpen:
@@ -1074,8 +1179,14 @@ func (c *Conn) processNewAck(ack uint64, seg *Segment) {
 			c.dupAcks = 0
 			c.cc.OnExitRecovery(c.loop.Now(), c.cwnd)
 		} else {
-			// NewReno partial ACK: retransmit the next hole, deflate.
-			if fl := c.infl(); len(fl) > 0 && !fl[0].retx {
+			// NewReno partial ACK: retransmit the next hole, deflate. A
+			// head already marked lost is owned by the paced recovery
+			// loop in trySend — retransmitting it here as well would
+			// bypass the pacing once per partial ACK, double the repair
+			// machinery, and (with a receiver that correctly ACKs every
+			// gap-fill immediately) flood the bad state of a bursty link
+			// with unpaced copies.
+			if fl := c.infl(); len(fl) > 0 && !fl[0].retx && !fl[0].lost {
 				fl[0].retx = true
 				fl[0].sentAt = c.loop.Now()
 				c.retransmitSeg(&fl[0])
@@ -1100,8 +1211,10 @@ func (c *Conn) processNewAck(ack uint64, seg *Segment) {
 	c.probe(EvAck)
 	if len(c.infl()) == 0 {
 		c.stopRTO()
+		c.abortTLP()
 	} else {
 		c.armRTO()
+		c.maybeArmTLP()
 	}
 }
 
@@ -1109,7 +1222,8 @@ func (c *Conn) processNewAck(ack uint64, seg *Segment) {
 // losses: an unsacked segment with sacked data above it has been passed
 // over on the wire (RFC 6675 reordering threshold, simplified), so it is
 // queued for retransmission through the recovery path.
-func (c *Conn) applySack(blocks [][2]uint64) {
+func (c *Conn) applySack(ack *Segment) {
+	blocks := ack.Sack
 	if len(blocks) == 0 {
 		return
 	}
@@ -1124,6 +1238,20 @@ func (c *Conn) applySack(blocks [][2]uint64) {
 			if !sg.sacked && sg.seq >= b[0] && sg.seq+uint64(sg.len) <= b[1] {
 				sg.sacked = true
 				sg.lost = false
+				// RACK delivery watermark: originals always advance it.
+				// A SACKed retransmission is ambiguous under Karn's rule
+				// — the SACK may be for the original — so it advances
+				// the watermark only when the timestamp echo names the
+				// copy, or when a full reordering window has elapsed
+				// since the copy went out (Linux tcp_rack_advance's
+				// too-low-RTT guard, inverted): an out-of-order ACK
+				// does not refresh tsRecent, so elapsed time is the
+				// usable disambiguator for SACKed tail-loss probes.
+				if c.cfg.RACK && (!sg.retx ||
+					(ack.TSEcr > 0 && ack.TSEcr >= sg.sentAt) ||
+					c.loop.Now().Sub(sg.sentAt) >= c.rackReoWnd()) {
+					c.rackSeen(sg.sentAt, sg.seq+uint64(sg.len))
+				}
 			}
 		}
 	}
@@ -1137,6 +1265,7 @@ func (c *Conn) applySack(blocks [][2]uint64) {
 		sg := &fl[i]
 		if !sg.sacked && !sg.retx && sg.seq+uint64(sg.len) <= highest {
 			sg.lost = true
+			sg.lostBy = causeRTO
 		}
 	}
 }
@@ -1196,7 +1325,7 @@ func (c *Conn) growWindow(ackedSegs int) {
 	c.cwnd += c.cc.OnAckCA(c.loop.Now(), c.cwnd, ackedSegs, c.rtt.srtt)
 }
 
-func (c *Conn) processDupAck() {
+func (c *Conn) processDupAck(seg *Segment) {
 	c.dupAcks++
 	if debugLog != nil {
 		debugLog(fmt.Sprintf("%v %s dupack#%d una=%d nxt=%d inflight=%d ca=%d",
@@ -1205,6 +1334,7 @@ func (c *Conn) processDupAck() {
 	switch c.caState {
 	case caOpen:
 		if c.dupAcks >= 3 {
+			c.checkNotCoalesced(seg, "fast-retransmit")
 			// Fast retransmit + fast recovery.
 			c.undoActive = true
 			c.undoCwnd = c.cwnd
@@ -1237,6 +1367,7 @@ func (c *Conn) processDupAck() {
 		// backoff, as SACK-based Linux recovery effectively does.
 		fl := c.infl()
 		if c.dupAcks%3 == 0 && len(fl) > 0 && !fl[0].sacked {
+			c.checkNotCoalesced(seg, "loss-dupack-repair")
 			first := &fl[0]
 			// Only re-send the hole if it hasn't been retransmitted
 			// within roughly one RTT — the copy may still be in flight.

@@ -120,7 +120,44 @@ func (c *Conn) checkSender(where string) {
 	if c.sendQueue < 0 {
 		c.violateConn("sendq-negative", "%s: sendQueue=%d", where, c.sendQueue)
 	}
+	// Retransmit attribution: every wire retransmission is counted by
+	// exactly one cause counter. TLP probes that carried new data are not
+	// retransmissions and are excluded.
+	attributed := c.Retransmits + c.FastRetransmits + c.RACKRetransmits + (c.TLPProbes - c.tlpNewData)
+	if c.retxWire != attributed {
+		c.violateConn("retx-attribution", "%s: %d wire retransmissions but %d attributed (rto=%d fast=%d rack=%d tlpRetx=%d)",
+			where, c.retxWire, attributed, c.Retransmits, c.FastRetransmits, c.RACKRetransmits, c.TLPProbes-c.tlpNewData)
+	}
+	// Fix-arm gating: an arm that is off must leave no trace.
+	if !c.cfg.TLP && (c.tlp.probing || c.TLPProbes > 0) {
+		c.violateConn("tlp-gated", "%s: TLP state active with the arm off", where)
+	}
+	if !c.cfg.FRTO && c.FrtoUndos > 0 {
+		c.violateConn("frto-gated", "%s: F-RTO undo fired with the arm off", where)
+	}
+	for i := range fl {
+		if fl[i].lost && fl[i].sacked {
+			c.violateConn("lost-sacked", "%s: segment %d both lost and sacked", where, i)
+		}
+		if fl[i].lost && fl[i].lostBy == causeRACK && !c.cfg.RACK {
+			c.violateConn("rack-gated", "%s: RACK loss mark with the arm off", where)
+		}
+	}
 	checkRTT(c, &c.rtt, where)
+}
+
+// checkNotCoalesced asserts that a loss-repair path is not being entered
+// on the strength of an ACK the peer's delayed-ACK timer released. A
+// timer release can never legitimately be the deciding duplicate: every
+// event that arms the timer advances the ACK value past any duplicate's,
+// and every out-of-order or duplicate arrival cancels the timer with an
+// immediate ACK. Firing recovery off one would mean the receiver
+// coalesced an ACK the sender's dupACK heuristics depend on (RFC 5681
+// §4.2's prohibition on delaying out-of-order ACKs).
+func (c *Conn) checkNotCoalesced(seg *Segment, path string) {
+	if invOn && seg.Delayed {
+		c.violateConn("coalesced-dupack", "%s triggered by a delayed-ACK-timer release (una=%d)", path, c.sndUna)
+	}
 }
 
 // checkReceiver audits in-order byte accounting and the out-of-order

@@ -114,6 +114,43 @@ func TestInvariantCatchesInflightCorruption(t *testing.T) {
 	}
 }
 
+// TestInvariantCatchesCoalescedDupAck forges the situation RFC 5681
+// §4.2 forbids — a third duplicate ACK that the receiver's delayed-ACK
+// timer released — and asserts the fast-retransmit entry point refuses
+// to fire recovery off it. The real receiver can never produce this
+// (arming the timer always advances the ACK value; out-of-order
+// arrivals cancel it), so the forgery is the only way to prove the
+// guard is wired in.
+func TestInvariantCatchesCoalescedDupAck(t *testing.T) {
+	got := captureViolations(t)
+	w, _, server := establishedPair(t, 21)
+
+	server.Write(20 * 1380)
+	w.loop.Run(w.loop.Now().Add(25 * time.Millisecond))
+	if len(server.infl()) == 0 {
+		t.Fatal("no flight to forge duplicates against")
+	}
+	dup := func(delayed bool) *Segment {
+		return &Segment{
+			Flags: flagACK, Ack: server.sndUna, Wnd: 1 << 20,
+			TSVal: w.loop.Now(), TSEcr: server.tsRecent, Delayed: delayed,
+		}
+	}
+	server.receiveAck(dup(false))
+	server.receiveAck(dup(false))
+	server.receiveAck(dup(true)) // the firing duplicate claims timer origin
+
+	found := false
+	for _, v := range *got {
+		if v.Rule == "coalesced-dupack" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("coalesced firing dupACK not caught; violations: %s", rules(*got))
+	}
+}
+
 // TestInvariantsSilentOnImpairedTransfer runs a hostile link — bursty
 // loss, reordering, duplication, a shallow queue — and asserts the
 // checker stays silent: impairments must surface as protocol events

@@ -1,0 +1,126 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"spdier/internal/sim"
+)
+
+// Karn's rule audit (RFC 6298 §5.3): an ACK that covers only
+// retransmitted data is ambiguous — it may acknowledge the original
+// transmission rather than the copy — so unless a timestamp echo
+// disambiguates it, it must neither feed the RTT estimator nor clear
+// the exponential backoff. Every ACK the simulated receiver generates
+// carries a timestamp echo (the model always negotiates RFC 7323), so
+// the no-timestamp arm of the rule is only reachable with hand-crafted
+// segments; these tests build them directly against an established,
+// quiescent connection.
+
+// karnWorld returns an established server conn with a warm RTT
+// estimate, an empty flight, and three levels of RTO backoff applied —
+// the state a timeout storm leaves behind.
+func karnWorld(t *testing.T) (*testWorld, *Conn) {
+	t.Helper()
+	w := newWorld(cleanPath(), 5)
+	client, server := w.net.NewConnPair(DefaultConfig(), DefaultConfig(), "karn", "d")
+	client.OnDeliver(func(int) {})
+	client.OnEstablished(func() { server.Write(20_000) })
+	client.Connect()
+	w.loop.Run(5 * sim.Second)
+	if client.BytesRcvdApp != 20_000 {
+		t.Fatalf("warmup incomplete: %d", client.BytesRcvdApp)
+	}
+	if len(server.infl()) != 0 || !server.rtt.valid {
+		t.Fatalf("warmup left dirty state: inflight=%d valid=%v", len(server.infl()), server.rtt.valid)
+	}
+	server.rtt.backoffN = 3
+	return w, server
+}
+
+// karnAck injects a hand-built pure ACK for everything in flight.
+func karnAck(w *testWorld, c *Conn, tsecr sim.Time) {
+	seg := &Segment{
+		Flags: flagACK,
+		Ack:   c.sndNxt,
+		Wnd:   c.cfg.RecvBuffer,
+		TSVal: w.loop.Now(),
+		TSEcr: tsecr,
+	}
+	c.receiveAck(seg)
+}
+
+// TestKarnRetxOnlyAckKeepsBackoffAndEstimate: without a timestamp echo,
+// an ACK covering nothing but a retransmission proves only that the
+// copy (or the original — unknowable) arrived. Backoff must survive and
+// the estimator must not take a sample.
+func TestKarnRetxOnlyAckKeepsBackoffAndEstimate(t *testing.T) {
+	w, server := karnWorld(t)
+	srtt := server.rtt.srtt
+
+	server.pushInflight(sentSeg{seq: server.sndUna, len: 1000, sentAt: w.loop.Now(), retx: true})
+	server.sndNxt += 1000
+	karnAck(w, server, 0)
+
+	if server.sndUna != server.sndNxt {
+		t.Fatalf("ACK not applied: una=%d nxt=%d", server.sndUna, server.sndNxt)
+	}
+	if server.rtt.backoffN != 3 {
+		t.Fatalf("ambiguous ACK cleared backoff: backoffN=%d", server.rtt.backoffN)
+	}
+	if server.rtt.srtt != srtt {
+		t.Fatalf("ambiguous ACK fed the estimator: srtt %v -> %v", srtt, server.rtt.srtt)
+	}
+}
+
+// TestKarnOriginalAckClearsBackoff: covering a never-retransmitted
+// segment is unambiguous forward progress — backoff clears even without
+// a timestamp echo (Linux clears icsk_backoff on any snd_una advance by
+// original data), though the estimator still waits for a timestamped
+// sample.
+func TestKarnOriginalAckClearsBackoff(t *testing.T) {
+	w, server := karnWorld(t)
+	srtt := server.rtt.srtt
+
+	server.pushInflight(sentSeg{seq: server.sndUna, len: 1000, sentAt: w.loop.Now()})
+	server.sndNxt += 1000
+	karnAck(w, server, 0)
+
+	if server.rtt.backoffN != 0 {
+		t.Fatalf("original-data ACK left backoff: backoffN=%d", server.rtt.backoffN)
+	}
+	if server.rtt.srtt != srtt {
+		t.Fatalf("un-timestamped ACK fed the estimator: srtt %v -> %v", srtt, server.rtt.srtt)
+	}
+}
+
+// TestKarnTimestampDisambiguatesRetx: a timestamp echo stamping the
+// retransmission itself lifts the ambiguity (RFC 7323 §4) — the ACK
+// both clears backoff and yields one true RTT sample, which is how a
+// promotion-stalled retransmission teaches the estimator the new path
+// RTT (the paper's §5.5.1 accommodation).
+func TestKarnTimestampDisambiguatesRetx(t *testing.T) {
+	w, server := karnWorld(t)
+	srtt := server.rtt.srtt
+
+	sentAt := w.loop.Now()
+	server.pushInflight(sentSeg{seq: server.sndUna, len: 1000, sentAt: sentAt, retx: true})
+	server.sndNxt += 1000
+	// The echo names the copy: TSEcr equals the retransmission's send
+	// time, and the "measured" interval is 80 ms.
+	w.loop.At(w.loop.Now().Add(80*time.Millisecond), func() {
+		karnAck(w, server, sentAt)
+	})
+	w.loop.Run(sim.Forever)
+
+	if server.rtt.backoffN != 0 {
+		t.Fatalf("disambiguated ACK left backoff: backoffN=%d", server.rtt.backoffN)
+	}
+	if server.rtt.srtt == srtt {
+		t.Fatal("disambiguated ACK did not feed the estimator")
+	}
+	want := (7*srtt + 80*time.Millisecond) / 8
+	if server.rtt.srtt != want {
+		t.Fatalf("srtt %v, want %v (sample = ACK delay, not original send)", server.rtt.srtt, want)
+	}
+}

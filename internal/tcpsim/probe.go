@@ -18,12 +18,19 @@ const (
 	EvEstablished ProbeEvent = "established"
 	EvSpurious    ProbeEvent = "spurious" // retransmit later proven unnecessary
 	EvUndo        ProbeEvent = "undo"     // DSACK proved the episode spurious; cwnd/ssthresh restored
+	EvTLPProbe    ProbeEvent = "tlpprobe" // tail loss probe fired (PTO before the RTO)
+	EvRACKRetx    ProbeEvent = "rackretx" // retransmission of a RACK-marked segment
+	EvFRTOUndo    ProbeEvent = "frtoundo" // F-RTO verdict: timeout spurious; full Eifel undo
 )
 
 // evCodes assigns each event a compact code for columnar storage.
+// Append-only: the code is the array index, and retained recorder
+// columns store codes, so reordering or inserting would silently
+// relabel historical traces and golden reports.
 var evCodes = [...]ProbeEvent{
 	EvAck, EvSend, EvRetransmit, EvFastRetx, EvIdleRestart,
 	EvRTTReset, EvEstablished, EvSpurious, EvUndo,
+	EvTLPProbe, EvRACKRetx, EvFRTOUndo,
 }
 
 func evCode(ev ProbeEvent) uint8 {
@@ -242,10 +249,14 @@ func (r *Recorder) Each(fn func(ProbeSample) bool) {
 // (exact regardless of stride).
 func (r *Recorder) Count(ev ProbeEvent) int { return r.counts[evCode(ev)] }
 
-// Retransmissions reports the total retransmission count (timeout plus
-// fast retransmit), the quantity Figures 11-13 analyze.
+// Retransmissions reports the total retransmission count across every
+// cause — timeout, fast retransmit, tail loss probes and RACK-driven
+// repairs — the quantity Figures 11-13 analyze. With the recovery fix
+// arms off the last two classes never occur, so the total is unchanged
+// from the pre-recovery accounting.
 func (r *Recorder) Retransmissions() int {
-	return r.Count(EvRetransmit) + r.Count(EvFastRetx)
+	return r.Count(EvRetransmit) + r.Count(EvFastRetx) +
+		r.Count(EvTLPProbe) + r.Count(EvRACKRetx)
 }
 
 // SpuriousRetransmissions reports retransmissions for which the original

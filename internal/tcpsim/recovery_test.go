@@ -1,0 +1,312 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"spdier/internal/netem"
+	"spdier/internal/rrc"
+	"spdier/internal/sim"
+)
+
+// tailDropWorld runs a warm-up transfer to establish an RTT estimate,
+// then a late burst sized so the shallow downlink queue drops exactly
+// the burst's tail — the pathology TLP exists for: no following
+// segments means no duplicate ACKs, so the paper-era stack can only
+// wait out the RTO. Returns the sender and the completion time.
+func tailDropWorld(t *testing.T, arm func(*Config), burst int) (*Conn, sim.Time) {
+	t.Helper()
+	cfg := cleanPath()
+	cfg.Down.QueueBytes = 12_000 // ≈8 segments of headroom
+	w := newWorld(cfg, 11)
+	scfg := DefaultConfig()
+	if arm != nil {
+		arm(&scfg)
+	}
+	client, server := w.net.NewConnPair(DefaultConfig(), scfg, "td", "d")
+	total := 5_000 + burst
+	var doneAt sim.Time
+	client.OnDeliver(func(int) {
+		if client.BytesRcvdApp == int64(total) {
+			doneAt = w.loop.Now()
+		}
+	})
+	client.OnEstablished(func() { server.Write(5_000) })
+	client.Connect()
+	w.loop.Run(2 * sim.Second)
+	if client.BytesRcvdApp != 5_000 {
+		t.Fatalf("warmup incomplete: %d", client.BytesRcvdApp)
+	}
+	// Short pause (below the idle-restart threshold), then the burst.
+	at := w.loop.Now().Add(50 * time.Millisecond)
+	w.loop.At(at, func() { server.Write(burst) })
+	w.loop.Run(sim.Forever)
+	if client.BytesRcvdApp != int64(total) {
+		t.Fatalf("burst incomplete: %d", client.BytesRcvdApp)
+	}
+	return server, doneAt
+}
+
+// TestTLPConvertsTailDropToProbeRecovery: a pure tail drop leaves the
+// baseline stack with nothing but the RTO — window collapse to 1,
+// exponential backoff, go-back-N bookkeeping. The TLP arm retransmits
+// the tail after ≈2·srtt instead: the timeout never fires, the
+// retransmission is attributed to the probe, and the congestion
+// response is the gentler ssthresh halving of an ordinary loss event.
+func TestTLPConvertsTailDropToProbeRecovery(t *testing.T) {
+	const burst = 9 * 1380 // one segment past the queue's headroom
+
+	base, baseEnd := tailDropWorld(t, nil, burst)
+	if base.Retransmits == 0 {
+		t.Fatalf("baseline tail drop should only be repairable by RTO (retx=%d fast=%d)",
+			base.Retransmits, base.FastRetransmits)
+	}
+
+	tlp, tlpEnd := tailDropWorld(t, func(c *Config) { c.TLP = true }, burst)
+	t.Logf("baseline: end=%v retx=%d fast=%d | tlp: end=%v retx=%d fast=%d probes=%d",
+		baseEnd, base.Retransmits, base.FastRetransmits, tlpEnd, tlp.Retransmits, tlp.FastRetransmits, tlp.TLPProbes)
+	if tlp.TLPProbes == 0 {
+		t.Fatal("TLP arm never fired a probe on a pure tail drop")
+	}
+	if tlp.Retransmits != 0 {
+		t.Fatalf("TLP arm still took %d RTO retransmissions", tlp.Retransmits)
+	}
+	if tlpEnd >= baseEnd {
+		t.Fatalf("probe recovery (%v) not faster than RTO recovery (%v)", tlpEnd, baseEnd)
+	}
+}
+
+// TestRACKCondemnsHolesBelowSackedProbe: drop the last TWO segments of
+// a burst. The TLP probe retransmits only the highest one; its SACK
+// cannot raise three duplicate ACKs, so without time-based loss
+// detection the remaining hole still waits out the RTO. With RACK the
+// SACKed probe advances the delivery watermark (timestamp-disambiguated
+// per RFC 8985) and condemns the older hole within a reordering window.
+func TestRACKCondemnsHolesBelowSackedProbe(t *testing.T) {
+	const burst = 10 * 1380 // two segments past the queue's headroom
+
+	tlpOnly, tlpEnd := tailDropWorld(t, func(c *Config) { c.TLP = true }, burst)
+	both, bothEnd := tailDropWorld(t, func(c *Config) { c.TLP, c.RACK = true, true }, burst)
+	t.Logf("tlp-only: end=%v retx=%d fast=%d probes=%d | tlp+rack: end=%v retx=%d fast=%d rack=%d probes=%d",
+		tlpEnd, tlpOnly.Retransmits, tlpOnly.FastRetransmits, tlpOnly.TLPProbes,
+		bothEnd, both.Retransmits, both.FastRetransmits, both.RACKRetransmits, both.TLPProbes)
+	if both.TLPProbes == 0 || both.RACKRetransmits == 0 {
+		t.Fatalf("expected probe+RACK repair, got probes=%d rack=%d", both.TLPProbes, both.RACKRetransmits)
+	}
+	if both.Retransmits != 0 {
+		t.Fatalf("TLP+RACK still took %d RTO retransmissions", both.Retransmits)
+	}
+	if bothEnd >= tlpEnd {
+		t.Fatalf("RACK repair (%v) not faster than TLP-only (%v)", bothEnd, tlpEnd)
+	}
+}
+
+// promotionScenario reproduces the paper's §6 idle pathology without
+// the §6.2.1 RTT-reset fix: a transfer, a long idle that sends the 3G
+// radio to sleep, then a burst whose first flight sits behind the 2 s
+// promotion while the stale ~600 ms RTO fires spuriously.
+func promotionScenario(t *testing.T, arm func(*Config)) (server, client *Conn, rtoAfter time.Duration) {
+	t.Helper()
+	loop := sim.NewLoop()
+	radio := rrc.NewMachine(loop, rrc.Profile3G())
+	pc := netem.Profile3G()
+	pc.Up.LossRate, pc.Down.LossRate = 0, 0
+	path := netem.NewPath(loop, pc, sim.NewRNG(2), radio)
+	nw := NewNetwork(loop, path)
+	scfg := DefaultConfig()
+	if arm != nil {
+		arm(&scfg)
+	}
+	c, s := nw.NewConnPair(DefaultConfig(), scfg, "pr", "d")
+	c.OnDeliver(func(int) {})
+	c.OnEstablished(func() { s.Write(200_000) })
+	c.Connect()
+	loop.Run(30 * sim.Second)
+	at := loop.Now().Add(25 * time.Second)
+	loop.At(at, func() { s.Write(100_000) })
+	// Probe the effective RTO shortly after the post-promotion flight is
+	// acknowledged, while backoff damage (if unrepaired) is still visible.
+	var rto time.Duration
+	loop.At(at.Add(4*time.Second), func() { rto = s.RTO() })
+	loop.Run(at.Add(30 * time.Second))
+	if c.BytesRcvdApp != 300_000 {
+		t.Fatalf("transfer incomplete: %d", c.BytesRcvdApp)
+	}
+	return s, c, rto
+}
+
+// TestFRTOUndoRepairsPromotionTimeout is the tentpole's metamorphic
+// oracle: in the paper's idle scenario (no RTT-reset fix), the F-RTO
+// arm must detect the spurious timeout from the first post-RTO ACK and
+// repair ALL of the damage in-protocol — ssthresh and cwnd restored,
+// exponential backoff cleared — and the spurious retransmission count
+// seen by the receiver stays at the irreducible floor (the head
+// retransmissions the firing timeout itself sent, ~0 go-back-N tail).
+func TestFRTOUndoRepairsPromotionTimeout(t *testing.T) {
+	base, baseClient, baseRTO := promotionScenario(t, nil)
+	frto, frtoClient, frtoRTO := promotionScenario(t, func(c *Config) { c.FRTO = true })
+	t.Logf("baseline: ssthresh=%v undos=%d spurious=%d retx=%d rto=%v",
+		base.Ssthresh(), base.Undos, baseClient.SpuriousArrivals, base.Retransmits, baseRTO)
+	t.Logf("frto:     ssthresh=%v frtoUndos=%d spurious=%d retx=%d rto=%v",
+		frto.Ssthresh(), frto.FrtoUndos, frtoClient.SpuriousArrivals, frto.Retransmits, frtoRTO)
+
+	if frto.FrtoUndos == 0 {
+		t.Fatal("F-RTO arm never detected the spurious promotion timeout")
+	}
+	if frto.Ssthresh() < base.Ssthresh() {
+		t.Fatalf("F-RTO left ssthresh lower than baseline: %v < %v", frto.Ssthresh(), base.Ssthresh())
+	}
+	// Spurious retransmissions: at most the head retransmissions of the
+	// (few, backoff-spaced) timer firings during the 2 s stall; the
+	// go-back-N tail must be fully suppressed.
+	if frtoClient.SpuriousArrivals > 3 {
+		t.Fatalf("%d spurious arrivals with F-RTO on; go-back-N not suppressed", frtoClient.SpuriousArrivals)
+	}
+	if frtoClient.SpuriousArrivals > baseClient.SpuriousArrivals {
+		t.Fatalf("F-RTO increased spurious retransmissions: %d > %d",
+			frtoClient.SpuriousArrivals, baseClient.SpuriousArrivals)
+	}
+	// The Eifel undo must also clear the exponential backoff: shortly
+	// after recovery the effective RTO reflects the path, not the stall.
+	if frtoRTO > baseRTO {
+		t.Fatalf("F-RTO left RTO backoff in place: %v > baseline %v", frtoRTO, baseRTO)
+	}
+
+	// Sharper separation: the baseline's partial undo leans on receiver
+	// DSACKs, but F-RTO's verdict comes from the first post-RTO cumulative
+	// ACK alone. With DSACK undo disabled (the paper-era ablation) the
+	// baseline keeps the ssthresh collapse for good, while F-RTO still
+	// repairs it.
+	noUndo, _, _ := promotionScenario(t, func(c *Config) { c.DisableUndo = true })
+	frtoNoUndo, _, _ := promotionScenario(t, func(c *Config) { c.DisableUndo, c.FRTO = true, true })
+	t.Logf("disable-undo: baseline ssthresh=%v | frto ssthresh=%v frtoUndos=%d",
+		noUndo.Ssthresh(), frtoNoUndo.Ssthresh(), frtoNoUndo.FrtoUndos)
+	if frtoNoUndo.FrtoUndos == 0 {
+		t.Fatal("F-RTO undo should not depend on DSACK undo machinery")
+	}
+	if frtoNoUndo.Ssthresh() <= noUndo.Ssthresh() {
+		t.Fatalf("F-RTO did not repair the collapse DSACK undo cannot: %v <= %v",
+			frtoNoUndo.Ssthresh(), noUndo.Ssthresh())
+	}
+}
+
+// TestStackedArmsHoldInvariantsUnderImpairment drives all three arms
+// together through a lossy, duplicating, jittery path with the
+// invariant checker armed (TestMain), exercising every recovery
+// interleaving: probes colliding with RTOs, RACK marks inside F-RTO
+// episodes, undo vs DSACK accounting. Completion plus zero violations
+// is the assertion; the checker panics on any accounting drift.
+func TestStackedArmsHoldInvariantsUnderImpairment(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 23, 41} {
+		cfg := cleanPath()
+		cfg.Down.QueueBytes = 30_000
+		cfg.Up.LossRate, cfg.Down.LossRate = 0.01, 0.02
+		w := newWorld(cfg, seed)
+		scfg := DefaultConfig()
+		scfg.TLP, scfg.RACK, scfg.FRTO = true, true, true
+		ccfg := DefaultConfig()
+		ccfg.TLP, ccfg.RACK, ccfg.FRTO = true, true, true
+		client, server := w.net.NewConnPair(ccfg, scfg, "st", "d")
+		client.OnDeliver(func(int) {})
+		server.OnDeliver(func(int) {})
+		client.OnEstablished(func() {
+			server.Write(400_000)
+			client.Write(60_000)
+		})
+		client.Connect()
+		w.loop.Run(sim.Forever)
+		if client.BytesRcvdApp != 400_000 || server.BytesRcvdApp != 60_000 {
+			t.Fatalf("seed %d: incomplete transfer: down=%d up=%d", seed, client.BytesRcvdApp, server.BytesRcvdApp)
+		}
+		if w.net.LiveSegments() != 0 {
+			t.Fatalf("seed %d: %d segments leaked", seed, w.net.LiveSegments())
+		}
+	}
+}
+
+// TestRetransmitAttributionExactlyOnce: every wire retransmission is
+// counted under exactly one cause, the probe recorder's per-event
+// counts agree with the connection counters, and the rare-only
+// (bounded-memory) recorder retains the same totals — recovery events
+// are never downsampled.
+func TestRetransmitAttributionExactlyOnce(t *testing.T) {
+	run := func(rec *Recorder) (*Conn, *Conn) {
+		cfg := cleanPath()
+		cfg.Down.QueueBytes = 30_000
+		cfg.Up.LossRate, cfg.Down.LossRate = 0.01, 0.02
+		w := newWorld(cfg, 23)
+		scfg := DefaultConfig()
+		scfg.TLP, scfg.RACK, scfg.FRTO = true, true, true
+		scfg.Probe = rec
+		client, server := w.net.NewConnPair(DefaultConfig(), scfg, "at", "d")
+		client.OnDeliver(func(int) {})
+		client.OnEstablished(func() { server.Write(400_000) })
+		client.Connect()
+		w.loop.Run(sim.Forever)
+		if client.BytesRcvdApp != 400_000 {
+			t.Fatalf("incomplete: %d", client.BytesRcvdApp)
+		}
+		return server, client
+	}
+
+	full, lean := NewRecorder(), NewRecorderRareOnly()
+	server, _ := run(full)
+	leanServer, _ := run(lean)
+
+	t.Logf("retx=%d fast=%d rack=%d probes=%d newdata=%d wire=%d",
+		server.Retransmits, server.FastRetransmits, server.RACKRetransmits,
+		server.TLPProbes, server.tlpNewData, server.retxWire)
+
+	// Deterministic replay: both runs must agree exactly.
+	if leanServer.retxWire != server.retxWire {
+		t.Fatalf("replay diverged: wire retx %d vs %d", leanServer.retxWire, server.retxWire)
+	}
+	// Exactly-once attribution (also enforced continuously by the
+	// invariant checker at every commit point).
+	attributed := server.Retransmits + server.FastRetransmits + server.RACKRetransmits +
+		(server.TLPProbes - server.tlpNewData)
+	if server.retxWire != attributed {
+		t.Fatalf("wire retx %d, attributed %d", server.retxWire, attributed)
+	}
+	// Recorder counts mirror the counters, per cause.
+	for _, rec := range []*Recorder{full, lean} {
+		if got := rec.Count(EvRetransmit); got != server.Retransmits {
+			t.Errorf("recorder EvRetransmit=%d, conn=%d", got, server.Retransmits)
+		}
+		if got := rec.Count(EvFastRetx); got != server.FastRetransmits {
+			t.Errorf("recorder EvFastRetx=%d, conn=%d", got, server.FastRetransmits)
+		}
+		if got := rec.Count(EvRACKRetx); got != server.RACKRetransmits {
+			t.Errorf("recorder EvRACKRetx=%d, conn=%d", got, server.RACKRetransmits)
+		}
+		if got := rec.Count(EvTLPProbe); got != server.TLPProbes {
+			t.Errorf("recorder EvTLPProbe=%d, conn=%d", got, server.TLPProbes)
+		}
+		if got := rec.Count(EvFRTOUndo); got != server.FrtoUndos {
+			t.Errorf("recorder EvFRTOUndo=%d, conn=%d", got, server.FrtoUndos)
+		}
+	}
+	if full.Retransmissions() != lean.Retransmissions() {
+		t.Fatalf("rare-only recorder lost recovery events: %d vs %d",
+			lean.Retransmissions(), full.Retransmissions())
+	}
+}
+
+// TestArmsOffLeavesBaselineUntouched: with every arm disabled the new
+// state must stay inert — no probes, no RACK marks, no F-RTO undos, no
+// new counters — so that existing experiments remain byte-identical
+// (the golden report tests pin this end to end; this pins the
+// connection-level mechanism).
+func TestArmsOffLeavesBaselineUntouched(t *testing.T) {
+	server, _ := tailDropWorld(t, nil, 9*1380)
+	if server.TLPProbes != 0 || server.RACKRetransmits != 0 || server.FrtoUndos != 0 || server.tlpNewData != 0 {
+		t.Fatalf("fix-arm counters moved with arms off: tlp=%d rack=%d frto=%d",
+			server.TLPProbes, server.RACKRetransmits, server.FrtoUndos)
+	}
+	if server.tlp.probing || server.tlp.timer.Pending() {
+		t.Fatal("TLP state active with the arm off")
+	}
+	if server.rack.xmitTime != 0 {
+		t.Fatal("RACK watermark advanced with the arm off")
+	}
+}

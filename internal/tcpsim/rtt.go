@@ -22,13 +22,17 @@ type rttEstimator struct {
 }
 
 // current returns the effective (backed-off) retransmission timeout.
+// The doubling saturates at maxRTO before each shift, so even a
+// pathological maxRTO near the Duration ceiling cannot overflow into a
+// negative timeout; combined with the backoffN cap of 16 the sequence
+// is min(rto·2ⁿ, maxRTO) for every n.
 func (e *rttEstimator) current() time.Duration {
 	d := e.rto
 	for i := uint(0); i < e.backoffN; i++ {
-		d *= 2
-		if d >= e.maxRTO {
+		if d >= e.maxRTO || d > maxDuration/2 {
 			return e.maxRTO
 		}
+		d *= 2
 	}
 	if d > e.maxRTO {
 		d = e.maxRTO
@@ -36,15 +40,28 @@ func (e *rttEstimator) current() time.Duration {
 	return d
 }
 
+// base returns the un-backed-off timeout. Idle detection compares
+// against this: whether a connection has been idle "longer than the
+// RTO" (Linux tcp_cwnd_restart) is a property of the path estimate,
+// not of how many timeouts the previous burst happened to suffer.
+func (e *rttEstimator) base() time.Duration { return e.rto }
+
 const clockGranularity = time.Millisecond
 
+const maxDuration = time.Duration(1<<63 - 1)
+
 func newRTTEstimator(initial, min, max time.Duration) rttEstimator {
-	return rttEstimator{
+	e := rttEstimator{
 		rto:        initial,
 		initialRTO: initial,
 		minRTO:     min,
 		maxRTO:     max,
 	}
+	// The configured initial RTO must itself respect the clamp window;
+	// otherwise the first armed timer would violate the rto-clamp
+	// invariant before any sample is taken.
+	e.clamp()
+	return e
 }
 
 // sample folds one RTT measurement in (RFC 6298 §2).
@@ -99,7 +116,12 @@ func (e *rttEstimator) backoff() {
 }
 
 // progress clears exponential backoff when the peer acknowledges new
-// data, even if Karn's rule prevented an RTT sample.
+// data, even if Karn's rule prevented an RTT sample. Callers must gate
+// this on the ACK covering at least one never-retransmitted segment OR
+// carrying a timestamp echo (which disambiguates retransmissions,
+// RFC 7323 §4): a bare ACK for retransmitted data only proves the
+// retransmission worked, not that the path sustains the un-backed-off
+// timeout (Karn's rule as Linux applies it to icsk_backoff).
 func (e *rttEstimator) progress() {
 	e.backoffN = 0
 }
@@ -114,6 +136,7 @@ func (e *rttEstimator) reset() {
 	e.rttvar = 0
 	e.rto = e.initialRTO
 	e.backoffN = 0
+	e.clamp()
 }
 
 // seed installs a cached estimate (Linux tcp_metrics behaviour at

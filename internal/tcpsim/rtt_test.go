@@ -122,6 +122,115 @@ func TestSampleZeroClampsToGranularity(t *testing.T) {
 	}
 }
 
+// TestEffectiveRTOSequences pins the exact effective-RTO ladder for
+// several (base RTO, maxRTO) pairs: the sequence must be
+// min(rto·2ⁿ, maxRTO) at every step, the step count must saturate at
+// the backoffN cap, and no choice of maxRTO — including one adjacent to
+// the time.Duration ceiling — may overflow into a negative or shrinking
+// timeout.
+func TestEffectiveRTOSequences(t *testing.T) {
+	cases := []struct {
+		name     string
+		sample   time.Duration // single RTT sample establishing the base
+		min, max time.Duration
+		want     []time.Duration // effective RTO after n backoffs, n=0..
+	}{
+		{
+			name: "typical-300ms-base", sample: 100 * time.Millisecond,
+			min: 200 * time.Millisecond, max: 120 * time.Second,
+			want: []time.Duration{
+				300 * time.Millisecond, 600 * time.Millisecond,
+				1200 * time.Millisecond, 2400 * time.Millisecond,
+				4800 * time.Millisecond, 9600 * time.Millisecond,
+				19200 * time.Millisecond, 38400 * time.Millisecond,
+				76800 * time.Millisecond, 120 * time.Second, // saturates
+				120 * time.Second,
+			},
+		},
+		{
+			name: "min-clamped-base", sample: 10 * time.Millisecond,
+			min: 200 * time.Millisecond, max: time.Second,
+			want: []time.Duration{
+				200 * time.Millisecond, 400 * time.Millisecond,
+				800 * time.Millisecond, time.Second, time.Second,
+			},
+		},
+		{
+			name: "max-near-duration-ceiling", sample: time.Second,
+			min: 200 * time.Millisecond, max: maxDuration - 1,
+			// 3s base doubles cleanly 16 times (cap), never overflows.
+			want: func() []time.Duration {
+				seq := make([]time.Duration, 20)
+				d := 3 * time.Second
+				for i := range seq {
+					seq[i] = d
+					if i < 16 {
+						d *= 2
+					}
+				}
+				return seq
+			}(),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newRTTEstimator(3*time.Second, tc.min, tc.max)
+			e.sample(tc.sample)
+			base := e.rto
+			for n, want := range tc.want {
+				if got := e.current(); got != want {
+					t.Fatalf("after %d backoffs: RTO %v, want %v", n, got, want)
+				}
+				if got := e.current(); got < 0 {
+					t.Fatalf("after %d backoffs: negative RTO %v", n, got)
+				}
+				if e.base() != base {
+					t.Fatalf("after %d backoffs: base() drifted %v -> %v", n, base, e.base())
+				}
+				e.backoff()
+			}
+		})
+	}
+}
+
+// TestBackoffCountSaturates: the counter itself stops at 16, so an
+// unbounded timeout storm cannot push the shift amount into undefined
+// territory even when maxRTO is effectively infinite.
+func TestBackoffCountSaturates(t *testing.T) {
+	e := newRTTEstimator(3*time.Second, 200*time.Millisecond, maxDuration-1)
+	e.sample(100 * time.Millisecond)
+	for i := 0; i < 1000; i++ {
+		e.backoff()
+	}
+	if e.backoffN != 16 {
+		t.Fatalf("backoffN=%d, want cap 16", e.backoffN)
+	}
+	want := 300 * time.Millisecond << 16
+	if got := e.current(); got != want {
+		t.Fatalf("saturated RTO %v, want %v", got, want)
+	}
+}
+
+// TestConstructorAndResetClamp: an initial RTO outside [min,max] is
+// clamped at construction and again after reset, so the first armed
+// timer always satisfies the rto-clamp invariant.
+func TestConstructorAndResetClamp(t *testing.T) {
+	lo := newRTTEstimator(50*time.Millisecond, 200*time.Millisecond, time.Second)
+	if lo.current() != 200*time.Millisecond {
+		t.Fatalf("low initial not clamped up: %v", lo.current())
+	}
+	hi := newRTTEstimator(time.Hour, 200*time.Millisecond, time.Second)
+	if hi.current() != time.Second {
+		t.Fatalf("high initial not clamped down: %v", hi.current())
+	}
+	hi.sample(100 * time.Millisecond)
+	hi.backoff()
+	hi.reset()
+	if hi.current() != time.Second || hi.backoffN != 0 {
+		t.Fatalf("reset did not re-clamp: %v backoffN=%d", hi.current(), hi.backoffN)
+	}
+}
+
 func TestVarianceTracksJitter(t *testing.T) {
 	e := newTestEstimator()
 	for i := 0; i < 200; i++ {

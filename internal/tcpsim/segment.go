@@ -50,6 +50,7 @@ type Segment struct {
 	Wnd     int         // advertised receive window, bytes
 	Retx    bool        // this is a retransmission
 	Dsack   bool        // ACK reports receipt of an already-received segment
+	Delayed bool        // pure ACK released by the delayed-ACK timer, not an arrival
 	Sack    [][2]uint64 // SACK blocks: out-of-order byte ranges held by the receiver
 	TSVal   sim.Time    // sender timestamp (RFC 7323), set on data segments
 	TSEcr   sim.Time    // echoed timestamp on ACKs; drives RTT sampling
@@ -75,17 +76,32 @@ func (s *Segment) DupPayload() netem.Payload {
 	sack := append(cp.Sack[:0], s.Sack...)
 	*cp = *s
 	cp.Sack = sack
+	// Delayed is evidence about the *receiver's* ACK generation (it feeds
+	// the fast-retransmit-off-coalesced-ACK invariant); a wire duplicate
+	// is the network's doing and must not carry that evidence.
+	cp.Delayed = false
 	return cp
 }
+
+// Retransmit-cause tags recorded on sentSeg.lostBy. A segment marked
+// lost carries the mechanism that marked it, so the eventual
+// retransmission is attributed to exactly one cause in the counters and
+// the probe stream. SACK-hole inference inside an episode keeps the
+// legacy RTO attribution, matching the pre-RACK accounting.
+const (
+	causeRTO uint8 = iota
+	causeRACK
+)
 
 // sentSeg is the sender's record of an in-flight segment.
 type sentSeg struct {
 	seq    uint64
 	len    int
 	sentAt sim.Time
-	retx   bool // ever retransmitted (Karn: no RTT sample)
-	lost   bool // marked lost after an RTO; awaiting retransmission
-	sacked bool // receiver holds this segment (SACK); never retransmit
+	retx   bool  // ever retransmitted (Karn: no RTT sample)
+	lost   bool  // marked lost after an RTO; awaiting retransmission
+	sacked bool  // receiver holds this segment (SACK); never retransmit
+	lostBy uint8 // cause of the lost mark (causeRTO / causeRACK)
 }
 
 // StreamAssembler converts the in-order byte arrivals reported by a Conn
