@@ -15,9 +15,12 @@ import (
 	"testing"
 	"time"
 
+	"spdier/internal/browser"
+	"spdier/internal/experiment"
 	"spdier/internal/netem"
 	"spdier/internal/sim"
 	"spdier/internal/tcpsim"
+	"spdier/internal/webpage"
 )
 
 // benchReport accumulates headline numbers from the guardrail
@@ -48,31 +51,52 @@ func reportSweep(name string, metrics map[string]float64) {
 	sweepReport.Unlock()
 }
 
+// writeBenchFile serializes a bench report to path. Any failure — create,
+// encode, or close — is returned so TestMain can fail the run loudly: a
+// silently missing BENCH file breaks the perf trend line CI archives.
 func writeBenchFile(path string, report *struct {
 	sync.Mutex
 	m map[string]map[string]float64
-}) {
+}) error {
 	report.Lock()
 	defer report.Unlock()
 	if len(report.m) == 0 {
-		return
+		return nil
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		return
+		return err
 	}
-	defer f.Close()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report.m); err != nil {
-		os.Stderr.WriteString(path + ": " + err.Error() + "\n")
+		f.Close()
+		return err
 	}
+	return f.Close()
 }
 
 func TestMain(m *testing.M) {
+	// SIM_SCHED=heap re-runs the whole binary on the 4-ary heap
+	// scheduler, for wheel-vs-heap A/B benchmark comparisons.
+	if os.Getenv("SIM_SCHED") == "heap" {
+		sim.SetDefaultScheduler(sim.SchedulerHeap)
+	}
 	code := m.Run()
-	writeBenchFile("BENCH_hotpath.json", &benchReport)
-	writeBenchFile("BENCH_sweep.json", &sweepReport)
+	for path, report := range map[string]*struct {
+		sync.Mutex
+		m map[string]map[string]float64
+	}{
+		"BENCH_hotpath.json": &benchReport,
+		"BENCH_sweep.json":   &sweepReport,
+	} {
+		if err := writeBenchFile(path, report); err != nil {
+			os.Stderr.WriteString("writing " + path + ": " + err.Error() + "\n")
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
 	os.Exit(code)
 }
 
@@ -105,9 +129,62 @@ func BenchmarkLoop(b *testing.B) {
 	}
 	loop.RunUntilIdle()
 	b.StopTimer()
+	nsPerEvent := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	reportBench("BenchmarkLoop", map[string]float64{
-		"ns_per_event":  float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		"ns_per_event":  nsPerEvent,
 		"allocs_per_op": 0,
+		"scheduler":     float64(sim.DefaultScheduler()),
+	})
+
+	// Regression gate: when CI supplies the previous commit's numbers,
+	// fail on a >20% ns/event increase (baselines are hardware-specific,
+	// so the gate only runs when the env var is set).
+	if path := os.Getenv("HOTPATH_BASELINE"); path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			b.Logf("HOTPATH_BASELINE unreadable, skipping gate: %v", err)
+			return
+		}
+		var baseline map[string]map[string]float64
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			b.Logf("HOTPATH_BASELINE unparsable, skipping gate: %v", err)
+			return
+		}
+		if want := baseline["BenchmarkLoop"]["ns_per_event"]; want > 0 && nsPerEvent > 1.2*want {
+			b.Fatalf("event-loop hot path regressed >20%%: %.1f ns/event vs baseline %.1f", nsPerEvent, want)
+		}
+	}
+}
+
+// BenchmarkPageLoadsPerHour measures end-to-end simulation throughput in
+// the unit the ROADMAP's city-scale arc budgets in: simulated page loads
+// per wall-clock hour, on one machine, serially. Each iteration is a
+// full experiment.Run — browser, proxy, TCP, radio-free WiFi path — over
+// a Table 1 site slice with lean probing and a short think time, the
+// configuration the population sweep uses for aggregate-only runs.
+//
+//	go test -run '^$' -bench 'BenchmarkPageLoadsPerHour$' -benchtime=5x .
+func BenchmarkPageLoadsPerHour(b *testing.B) {
+	opts := experiment.Options{
+		Mode:      browser.ModeHTTP,
+		Network:   experiment.NetWiFi,
+		Sites:     webpage.Table1()[:6],
+		ThinkTime: 10 * time.Second,
+		LeanProbe: true,
+	}
+	pages := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = uint64(i + 1)
+		res := experiment.Run(opts)
+		pages += len(res.Records) - res.Incomplete
+	}
+	b.StopTimer()
+	perHour := float64(pages) / b.Elapsed().Hours()
+	b.ReportMetric(perHour, "pages/hour")
+	reportBench("BenchmarkPageLoadsPerHour", map[string]float64{
+		"page_loads_per_hour": perHour,
+		"pages_per_run":       float64(pages) / float64(b.N),
 	})
 }
 

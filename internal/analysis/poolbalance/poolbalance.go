@@ -1,7 +1,8 @@
 // Package poolbalance enforces pool discipline on the hot-path object
 // pools: tcpsim's segment pool (getSeg/putSeg, audited dynamically by
-// Network.segsLive) and the sync.Pool recycling in spdy/stats. Two
-// static checks complement the runtime audit:
+// Network.segsLive), sim's event-slot pool (allocSlot/freeSlot, the
+// arena behind every Timer), and the sync.Pool recycling in spdy/stats.
+// Two static checks complement the runtime audit:
 //
 //  1. An acquired pooled object must be consumed: a getSeg() or
 //     pool.Get() whose result is discarded, or bound to a variable that
@@ -123,15 +124,16 @@ func checkAssignedAcquisition(pass *analysis.Pass, file *ast.File, stmt *ast.Ass
 }
 
 // acquisition reports whether call acquires a pooled object — a method
-// or function named getSeg, or Get on a sync.Pool. For sync.Pool Get
-// calls on a plain identifier it also returns the pool variable.
+// or function named getSeg or allocSlot (the segment and event-slot
+// pools), or Get on a sync.Pool. For sync.Pool Get calls on a plain
+// identifier it also returns the pool variable.
 func acquisition(pass *analysis.Pass, call *ast.CallExpr) (name string, pool types.Object, ok bool) {
 	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !isSel {
 		return "", nil, false
 	}
 	switch sel.Sel.Name {
-	case "getSeg":
+	case "getSeg", "allocSlot":
 		return types.ExprString(sel), nil, true
 	case "Get":
 		recv := pass.TypesInfo.Types[sel.X].Type

@@ -64,3 +64,40 @@ func putBalanced(s *segment) { balancedPool.Put(s) }
 func discardGet() {
 	balancedPool.Get() // want `result of balancedPool\.Get discarded`
 }
+
+// slotLoop mirrors sim's event-slot pool: allocSlot hands out an index
+// into a slot arena and freeSlot recycles it. The same acquisition
+// discipline applies — a dropped slot id can never be freed.
+type slotLoop struct {
+	free []int32
+}
+
+func (l *slotLoop) allocSlot() int32 {
+	if n := len(l.free); n > 0 {
+		id := l.free[n-1]
+		l.free = l.free[:n-1]
+		return id
+	}
+	return 0
+}
+
+func (l *slotLoop) freeSlot(id int32) { l.free = append(l.free, id) }
+
+// discardSlot: an allocated slot index dropped on the floor.
+func discardSlot(l *slotLoop) {
+	l.allocSlot() // want `result of l\.allocSlot discarded`
+}
+
+// slotNeverUsed: bound but never consumed; the slot leaks from the
+// arena's free list.
+func slotNeverUsed(l *slotLoop) {
+	id := l.allocSlot()
+	l.freeSlot(id)
+	id = l.allocSlot() // want `id acquired from l\.allocSlot is never used afterwards`
+}
+
+// slotBalanced: allocate, schedule, free — silent.
+func slotBalanced(l *slotLoop) {
+	id := l.allocSlot()
+	l.freeSlot(id)
+}

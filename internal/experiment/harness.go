@@ -195,6 +195,10 @@ type Result struct {
 	Samples    []Sample
 	RadioMJ    float64 // radio energy, millijoules
 	Duration   sim.Time
+	// Fired is the total number of events the run's loop executed,
+	// captured before the loop is released. The scheduler-differential
+	// tests assert it is identical under the wheel and heap schedulers.
+	Fired uint64
 	// Incomplete counts pages whose load callback never fired before the
 	// hard deadline; their Records entries are nil and every accessor
 	// skips them.
@@ -429,6 +433,7 @@ func Run(opts Options) *Result {
 		}
 	}
 	res.Duration = loop.Now()
+	res.Fired = loop.Fired()
 	if radio != nil {
 		res.RadioMJ = radio.EnergyMilliJoules()
 	}

@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"spdier/internal/browser"
+	"spdier/internal/netem"
+	"spdier/internal/sim"
+)
+
+// schedulerDiffOptions is a deliberately hostile full-stack workload for
+// the wheel-vs-heap differential: bursty Gilbert-Elliott loss, extra
+// jitter, reordering and duplication on the wire, with every modern
+// recovery arm (TLP, RACK, F-RTO) enabled so the run exercises the full
+// retransmit-timer choreography — arm, re-arm, cancel-on-ack, probe
+// timeout — on top of the browser/RRC/think-time timer spectrum.
+// ProbeStride 1 and LeanProbe off keep the complete probe trace so the
+// comparison is sample-by-sample, not aggregate-only.
+func schedulerDiffOptions(seed uint64) Options {
+	return Options{
+		Mode:      browser.ModeSPDY,
+		Network:   Net3G,
+		Sites:     metaSites(),
+		Seed:      seed,
+		ThinkTime: 5 * time.Second,
+		TLP:       true,
+		RACK:      true,
+		FRTO:      true,
+		Impair: netem.Impairments{
+			GEGoodToBad: 0.02,
+			GEBadToGood: 0.3,
+			GELossBad:   0.5,
+			ReorderProb: 0.01,
+			DupProb:     0.005,
+			ExtraJitter: 3 * time.Millisecond,
+		},
+		ProbeStride: 1,
+	}
+}
+
+// runWith runs one experiment under an explicit process-wide scheduler,
+// restoring the previous default before returning.
+func runWith(s sim.Scheduler, opts Options) *Result {
+	prev := sim.SetDefaultScheduler(s)
+	defer sim.SetDefaultScheduler(prev)
+	return Run(opts)
+}
+
+// TestSchedulerDifferentialImpairedRun replays a long seeded impaired
+// run — GE burst loss, jitter, reordering, duplication, TLP+RACK+FRTO —
+// through the heap and the wheel schedulers and requires the two runs to
+// be bit-for-bit identical: same total event count, same page load
+// times, same retransmission ledger, and the same full tcp_probe trace
+// sample by sample. Any divergence in (time, seq) firing order anywhere
+// in the stack shows up here as a trace mismatch.
+func TestSchedulerDifferentialImpairedRun(t *testing.T) {
+	for _, seed := range []uint64{1, 7} {
+		opts := schedulerDiffOptions(seed)
+		heap := runWith(sim.SchedulerHeap, opts)
+		wheel := runWith(sim.SchedulerWheel, opts)
+
+		if heap.Fired != wheel.Fired {
+			t.Errorf("seed %d: Fired heap=%d wheel=%d", seed, heap.Fired, wheel.Fired)
+		}
+		if heap.Duration != wheel.Duration {
+			t.Errorf("seed %d: Duration heap=%v wheel=%v", seed, heap.Duration, wheel.Duration)
+		}
+		if hr, wr := heap.Retransmissions(), wheel.Retransmissions(); hr != wr {
+			t.Errorf("seed %d: Retransmissions heap=%d wheel=%d", seed, hr, wr)
+		}
+		if heap.Retransmissions() == 0 {
+			t.Errorf("seed %d: impaired run produced zero retransmissions; differential is vacuous", seed)
+		}
+		hp, wp := heap.PLTSeconds(), wheel.PLTSeconds()
+		if len(hp) != len(wp) {
+			t.Fatalf("seed %d: PLT count heap=%d wheel=%d", seed, len(hp), len(wp))
+		}
+		for i := range hp {
+			if hp[i] != wp[i] {
+				t.Errorf("seed %d: PLT[%d] heap=%v wheel=%v", seed, i, hp[i], wp[i])
+			}
+		}
+
+		hrec, wrec := heap.Recorder, wheel.Recorder
+		if hrec.TotalSamples() != wrec.TotalSamples() {
+			t.Errorf("seed %d: TotalSamples heap=%d wheel=%d",
+				seed, hrec.TotalSamples(), wrec.TotalSamples())
+		}
+		if hrec.Len() != wrec.Len() {
+			t.Fatalf("seed %d: probe trace length heap=%d wheel=%d",
+				seed, hrec.Len(), wrec.Len())
+		}
+		for i := 0; i < hrec.Len(); i++ {
+			if h, w := hrec.Get(i), wrec.Get(i); h != w {
+				t.Fatalf("seed %d: probe sample %d diverges:\n  heap:  %+v\n  wheel: %+v",
+					seed, i, h, w)
+			}
+		}
+		if t.Failed() {
+			return
+		}
+	}
+}

@@ -8,12 +8,23 @@
 // with the same seed are bit-for-bit identical.
 //
 // The queue is built for zero steady-state allocation: events live in a
-// slot pool recycled through a free list, the priority queue is an
-// index-based 4-ary heap of (time, seq, slot) entries, and Timer handles
-// are plain values carrying a generation number, so At/After/Stop allocate
+// slot pool recycled through a free list, and Timer handles are plain
+// values carrying generation and epoch numbers, so At/After/Stop allocate
 // nothing once the pool is warm. Stopping a timer removes its entry from
-// the heap immediately, so cancelled events never linger in the queue and
-// Pending() is O(1).
+// the queue immediately, so cancelled events never linger and Pending()
+// is O(1).
+//
+// Two interchangeable schedulers implement the queue, selectable per
+// loop (NewLoopWith) or process-wide (SetDefaultScheduler):
+//
+//   - SchedulerWheel (default): a hierarchical timing wheel with O(1)
+//     insert/stop and batched same-timestamp delivery — see wheel.go.
+//   - SchedulerHeap: the previous index-based 4-ary heap with O(log n)
+//     insert/expire — see heap.go. Retained so differential tests can
+//     diff wheel-vs-heap event orderings directly.
+//
+// Both fire events in identical (time, seq) order; the golden reports
+// and the scheduler-differential tests pin that equivalence.
 package sim
 
 import (
@@ -71,6 +82,56 @@ var recycleEvents = true
 // must not be toggled while loops are running on other goroutines.
 func SetEventRecycling(on bool) { recycleEvents = on }
 
+// Scheduler selects the event-queue implementation backing a Loop.
+type Scheduler int
+
+// Available schedulers.
+const (
+	// SchedulerWheel is the hierarchical timing wheel: O(1)
+	// insert/stop/expire, batched same-timestamp delivery.
+	SchedulerWheel Scheduler = iota
+	// SchedulerHeap is the 4-ary heap: O(log n) insert/expire. Kept for
+	// differential wheel-vs-heap ordering tests.
+	SchedulerHeap
+)
+
+func (s Scheduler) String() string {
+	switch s {
+	case SchedulerWheel:
+		return "wheel"
+	case SchedulerHeap:
+		return "heap"
+	}
+	return fmt.Sprintf("Scheduler(%d)", int(s))
+}
+
+// defaultScheduler backs NewLoop. Like SetEventRecycling, the setter
+// exists for differential tests that replay identical runs through both
+// implementations; production code never changes it.
+var defaultScheduler = SchedulerWheel
+
+// SetDefaultScheduler replaces the scheduler NewLoop selects. It returns
+// the previous default so tests can restore it, and must not be called
+// while loops are being constructed on other goroutines.
+func SetDefaultScheduler(s Scheduler) Scheduler {
+	prev := defaultScheduler
+	defaultScheduler = s
+	return prev
+}
+
+// DefaultScheduler reports the scheduler NewLoop currently selects.
+func DefaultScheduler() Scheduler { return defaultScheduler }
+
+// slot.pos states shared by both schedulers. The heap stores its real
+// heap index (>= 0); the wheel only tracks membership, using posQueued
+// for every bucketed event (its bucket is recomputed from the timestamp
+// on cancel, never stored).
+const (
+	posFree     = -1 // slot not queued (fired, stopped, or never used)
+	posInFlight = -2 // wheel only: detached into the current drain batch
+	posQueued   = 0  // wheel only: queued in some bucket
+)
+
 // eventSlot is pooled storage for one scheduled callback. Slots are
 // addressed by index so the pool can grow without invalidating handles;
 // gen disambiguates reuse so stale Timer values are inert.
@@ -78,33 +139,62 @@ type eventSlot struct {
 	fn  func()
 	at  Time
 	gen uint32
-	pos int32 // index into Loop.heap, -1 when not queued
+	pos int32 // scheduler position state (see posFree/posInFlight/posQueued)
 }
 
-// heapEntry is one 4-ary heap element. The ordering key (at, seq) is
-// stored inline so sifting never chases the slot pool.
-type heapEntry struct {
-	at  Time
-	seq uint64
-	id  int32
+// scheduler is the event-queue contract. Implementations own the (time,
+// seq) ordering structure; the Loop owns slots, the clock and the seq
+// counter. Both implementations must fire events in identical (time,
+// seq) order — the differential tests pin this.
+type scheduler interface {
+	// schedule enqueues slot id at (at, seq) and marks the slot's pos as
+	// queued (heap: real index; wheel: posQueued).
+	schedule(at Time, seq uint64, id int32)
+	// cancel removes a queued slot (pos != posFree) from the structure.
+	// The caller frees the slot afterwards.
+	cancel(id int32)
+	// run executes events until the queue is empty, the loop is stopped,
+	// or the clock passes deadline, and returns the virtual time at exit.
+	run(deadline Time) Time
+	// pending reports the number of queued events, including any that
+	// are mid-batch but not yet fired.
+	pending() int
+	// release drops every queued entry and any auxiliary storage; the
+	// scheduler must remain usable for fresh events afterwards.
+	release()
 }
 
 // Loop is a discrete-event scheduler. The zero value is not usable; call
-// NewLoop.
+// NewLoop or NewLoopWith.
 type Loop struct {
 	now     Time
 	seq     uint64
+	epoch   uint32
 	slots   []eventSlot
 	free    []int32
-	heap    []heapEntry
+	sched   scheduler
 	running bool
 	stopped bool
 	fired   uint64
 }
 
-// NewLoop returns a scheduler with the clock at zero.
-func NewLoop() *Loop {
-	return &Loop{}
+// NewLoop returns a scheduler with the clock at zero, backed by the
+// process-wide default scheduler (the timing wheel unless a test has
+// switched it).
+func NewLoop() *Loop { return NewLoopWith(defaultScheduler) }
+
+// NewLoopWith returns a loop backed by an explicit scheduler choice.
+func NewLoopWith(s Scheduler) *Loop {
+	l := &Loop{}
+	switch s {
+	case SchedulerHeap:
+		l.sched = &heapSched{l: l}
+	case SchedulerWheel:
+		l.sched = newWheelSched(l)
+	default:
+		panic(fmt.Sprintf("sim: unknown scheduler %d", int(s)))
+	}
+	return l
 }
 
 // Now returns the current virtual time.
@@ -117,17 +207,20 @@ func (l *Loop) Fired() uint64 { return l.fired }
 // Timer is a handle to a scheduled event. The zero value is an inert
 // handle: Stop and Pending report false and When reports Forever. Handles
 // are values — copying one is free and a handle outlives its event safely
-// (the generation check makes handles to fired or stopped events inert
-// even after their slot is recycled).
+// (the generation and epoch checks make handles to fired, stopped or
+// released events inert even after their slot is recycled).
 type Timer struct {
-	loop *Loop
-	id   int32
-	gen  uint32
+	loop  *Loop
+	id    int32
+	gen   uint32
+	epoch uint32
 }
 
 // valid reports whether the handle still refers to its scheduled event.
+// The epoch check must come first: after Release the slot arena is gone
+// and only the epoch mismatch keeps stale handles from indexing it.
 func (t Timer) valid() bool {
-	return t.loop != nil && t.loop.slots[t.id].gen == t.gen
+	return t.loop != nil && t.epoch == t.loop.epoch && t.loop.slots[t.id].gen == t.gen
 }
 
 // Stop cancels the timer, removing its event from the queue immediately
@@ -139,18 +232,17 @@ func (t Timer) Stop() bool {
 		return false
 	}
 	l := t.loop
-	pos := l.slots[t.id].pos
-	if pos < 0 {
+	if l.slots[t.id].pos == posFree {
 		return false
 	}
-	l.heapRemove(int(pos))
+	l.sched.cancel(t.id)
 	l.freeSlot(t.id)
 	return true
 }
 
 // Pending reports whether the timer has yet to fire.
 func (t Timer) Pending() bool {
-	return t.valid() && t.loop.slots[t.id].pos >= 0
+	return t.valid() && t.loop.slots[t.id].pos != posFree
 }
 
 // When returns the virtual time at which the timer fires, or Forever once
@@ -169,7 +261,7 @@ func (l *Loop) allocSlot() int32 {
 		l.free = l.free[:n-1]
 		return id
 	}
-	l.slots = append(l.slots, eventSlot{})
+	l.slots = append(l.slots, eventSlot{pos: posFree})
 	return int32(len(l.slots) - 1)
 }
 
@@ -179,7 +271,7 @@ func (l *Loop) freeSlot(id int32) {
 	s := &l.slots[id]
 	s.fn = nil
 	s.gen++
-	s.pos = -1
+	s.pos = posFree
 	if recycleEvents {
 		l.free = append(l.free, id)
 	}
@@ -196,8 +288,8 @@ func (l *Loop) At(at Time, fn func()) Timer {
 	s := &l.slots[id]
 	s.fn = fn
 	s.at = at
-	l.heapPush(heapEntry{at: at, seq: l.seq, id: id})
-	return Timer{loop: l, id: id, gen: s.gen}
+	l.sched.schedule(at, l.seq, id)
+	return Timer{loop: l, id: id, gen: l.slots[id].gen, epoch: l.epoch}
 }
 
 // After schedules fn to run d from now. Negative d is clamped to zero.
@@ -220,127 +312,28 @@ func (l *Loop) Run(deadline Time) Time {
 	l.running = true
 	defer func() { l.running = false }()
 	l.stopped = false
-	for len(l.heap) > 0 && !l.stopped {
-		e := l.heap[0]
-		if e.at > deadline {
-			l.now = deadline
-			return l.now
-		}
-		fn := l.slots[e.id].fn
-		l.heapRemove(0)
-		l.freeSlot(e.id)
-		if e.at > l.now {
-			l.now = e.at
-		}
-		l.fired++
-		fn()
-	}
-	if deadline != Forever && l.now < deadline && len(l.heap) == 0 {
-		l.now = deadline
-	}
-	return l.now
+	return l.sched.run(deadline)
 }
 
 // RunUntilIdle executes all pending events with no deadline.
 func (l *Loop) RunUntilIdle() Time { return l.Run(Forever) }
 
-// Release drops every scheduled callback, the heap, and the slot free
-// list. Call it once a simulation has finished and its results have been
-// extracted: a retained Loop (e.g. reachable from a memoized result)
-// must not pin the object graph its callbacks close over. Outstanding
-// Timer handles become inert, exactly as if they had been stopped, and
-// the loop itself remains usable for scheduling fresh events.
+// Release drops every scheduled callback, the queue structure, and the
+// slot arena in O(levels), not O(slots): the epoch bump makes every
+// outstanding Timer inert without walking the arena, and the arena
+// itself is dropped in one pointer swap so the object graph its
+// callbacks close over is immediately collectable. Call it once a
+// simulation has finished and its results have been extracted — a
+// retained Loop (e.g. reachable from a memoized result) must not pin the
+// run's browser/proxy/connection graph. The loop itself remains usable
+// for scheduling fresh events.
 func (l *Loop) Release() {
-	for i := range l.slots {
-		l.slots[i] = eventSlot{gen: l.slots[i].gen + 1, pos: -1}
-	}
-	l.heap = nil
+	l.epoch++
+	l.slots = nil
 	l.free = nil
+	l.sched.release()
 }
 
 // Pending reports the number of queued events. Stopped timers are removed
-// from the heap eagerly, so this is simply the heap length — O(1), where
-// the previous lazy-cancellation queue had to scan every entry.
-func (l *Loop) Pending() int { return len(l.heap) }
-
-// --- 4-ary heap ordered by (at, seq) ---
-//
-// A 4-ary layout halves the tree depth of a binary heap; combined with
-// inline keys this makes sift operations short, branch-predictable loops
-// over one contiguous slice. slots[id].pos tracks each entry's heap index
-// so Stop can remove an arbitrary entry in O(log n).
-
-func entryLess(a, b heapEntry) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (l *Loop) heapPush(e heapEntry) {
-	l.heap = append(l.heap, e)
-	l.siftUp(len(l.heap) - 1)
-}
-
-// heapRemove deletes the entry at index i, preserving heap order.
-func (l *Loop) heapRemove(i int) {
-	n := len(l.heap) - 1
-	last := l.heap[n]
-	l.heap = l.heap[:n]
-	if i == n {
-		return
-	}
-	l.heap[i] = last
-	l.slots[last.id].pos = int32(i)
-	if i > 0 && entryLess(last, l.heap[(i-1)>>2]) {
-		l.siftUp(i)
-	} else {
-		l.siftDown(i)
-	}
-}
-
-func (l *Loop) siftUp(i int) {
-	h := l.heap
-	e := h[i]
-	for i > 0 {
-		p := (i - 1) >> 2
-		if !entryLess(e, h[p]) {
-			break
-		}
-		h[i] = h[p]
-		l.slots[h[i].id].pos = int32(i)
-		i = p
-	}
-	h[i] = e
-	l.slots[e.id].pos = int32(i)
-}
-
-func (l *Loop) siftDown(i int) {
-	h := l.heap
-	n := len(h)
-	e := h[i]
-	for {
-		c := i<<2 + 1
-		if c >= n {
-			break
-		}
-		m := c
-		end := c + 4
-		if end > n {
-			end = n
-		}
-		for j := c + 1; j < end; j++ {
-			if entryLess(h[j], h[m]) {
-				m = j
-			}
-		}
-		if !entryLess(h[m], e) {
-			break
-		}
-		h[i] = h[m]
-		l.slots[h[i].id].pos = int32(i)
-		i = m
-	}
-	h[i] = e
-	l.slots[e.id].pos = int32(i)
-}
+// from the queue eagerly, so this is an exact O(1) count.
+func (l *Loop) Pending() int { return l.sched.pending() }

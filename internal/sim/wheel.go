@@ -1,0 +1,470 @@
+package sim
+
+import "math/bits"
+
+// wheelSched is a hierarchical timing wheel: six levels of 64 slots at
+// 1 ns granularity, giving O(1) insert and cancel across the simulator's
+// whole timer spectrum — sub-millisecond link/serialization events up
+// through multi-second RTO/RRC/think-time timers — with an unsorted
+// overflow list for events outside the current ~68.7 s (2^36 ns) window.
+//
+// Geometry. Placement is by 64-ary digits of the absolute timestamp: an
+// event lands at level k = the highest digit in which at and cur differ
+// (one Len64 of at XOR cur), in slot (at >> 6k) & 63. Digit placement
+// (rather than classic delta placement) buys two structural invariants:
+//
+//   - An event's bucket is a pure function of (at, cur). Cancel
+//     recomputes it and swap-removes after a short scan, so neither the
+//     slot pool nor the buckets carry position indexes, and re-placing
+//     an event never writes to the slot pool at all.
+//   - Slots never wrap: every occupied slot at level k shares all
+//     higher digits with cur and exceeds cur's own digit k, so "next
+//     event" is TrailingZeros64 on the lowest non-empty occupancy
+//     bitmap — no carry or rotation handling anywhere.
+//
+// A level-k bucket spans exactly one level-k tick (its events share all
+// digits above k), so the lowest bucket of the lowest non-empty level
+// holds the global minimum. Advancing the clock jumps cur straight to
+// that bucket's earliest timestamp and splits the bucket once: events
+// at the minimum go directly into the drain batch, later ones re-place
+// at a strictly lower level. An event is touched at most once per level
+// on its way to firing, and the common cases — the next event alone in
+// its bucket, or an entire bucket sharing one timestamp — cost a single
+// detach.
+//
+// Events whose timestamp leaves the current 2^36 ns window (think
+// timers, Forever watchdogs) sit unsorted in the overflow bucket with a
+// tracked minimum; they are pulled into the wheel only when that
+// minimum would precede the next wheel event, so a Forever watchdog
+// costs one integer compare per scheduling decision and never cascades.
+//
+// Firing order. A level-0 slot holds exactly one tick (one exact
+// timestamp), so global (time, seq) order reduces to seq order within a
+// batch. Buckets are unsorted (cancel is swap-remove, a split appends),
+// so the detached batch is sorted by seq — a no-op check in the common
+// already-ordered case — then fired without touching the wheel again.
+// That is the batched same-timestamp delivery: no per-event re-sift,
+// and events scheduled for the same tick by the batch's own callbacks
+// join a fresh pass with strictly higher seqs. The heap scheduler
+// (heap.go) fires in bit-identical order; differential tests replay
+// full runs through both.
+type wheelSched struct {
+	l   *Loop
+	cur Time // wheel position: every queued event has at >= cur
+
+	count   int
+	occ     [wheelLevels]uint64
+	ovMin   Time // min at in the overflow bucket; Forever when empty
+	buckets [numBuckets][]bref
+	scratch []flight
+	// batchPending marks that nextTick already detached the returned
+	// tick's events into scratch, so drainTick starts there instead of
+	// at the level-0 bucket.
+	batchPending bool
+	arena        []bref // initial backing storage, sliced across buckets
+}
+
+const (
+	wheelBits    = 6
+	wheelSlots   = 1 << wheelBits
+	wheelMask    = wheelSlots - 1
+	wheelLevels  = 6
+	wheelHorizon = Time(1) << (wheelBits * wheelLevels)
+
+	// overflowIdx is the bucket index of the outside-the-window list.
+	overflowIdx = wheelLevels * wheelSlots
+	numBuckets  = overflowIdx + 1
+
+	// bucketSeed is the preallocated per-bucket capacity. Buckets that
+	// outgrow it reallocate once and keep the larger backing; seeding
+	// keeps the warm hot path allocation-free from the first event.
+	bucketSeed = 2
+)
+
+// bref is one bucket entry. The (at, seq) key is stored inline so
+// min-scans, splits and overflow pulls never chase the slot pool.
+type bref struct {
+	at  Time
+	seq uint64
+	id  int32
+}
+
+// flight is one detached drain-batch entry; gen makes entries whose
+// timer was stopped by an earlier callback in the same batch inert.
+type flight struct {
+	seq uint64
+	id  int32
+	gen uint32
+}
+
+func newWheelSched(l *Loop) *wheelSched {
+	w := &wheelSched{l: l, ovMin: Forever}
+	w.seed()
+	return w
+}
+
+// seed gives every bucket a small private capacity carved from one
+// arena allocation, so first-touch appends during a warm run allocate
+// nothing.
+func (w *wheelSched) seed() {
+	w.arena = make([]bref, numBuckets*bucketSeed)
+	for i := range w.buckets {
+		w.buckets[i] = w.arena[i*bucketSeed : i*bucketSeed : (i+1)*bucketSeed]
+	}
+	w.scratch = make([]flight, 0, wheelSlots)
+}
+
+// bucketFor returns the bucket index for timestamp at under the current
+// wheel position: the digit-placement rule shared by place and cancel.
+func (w *wheelSched) bucketFor(at Time) int {
+	x := uint64(at ^ w.cur)
+	if x >= uint64(wheelHorizon) {
+		return overflowIdx
+	}
+	level := 0
+	if x > wheelMask {
+		level = (bits.Len64(x) - 1) / wheelBits
+	}
+	return level*wheelSlots + int(uint64(at)>>(uint(level)*wheelBits))&wheelMask
+}
+
+func (w *wheelSched) schedule(at Time, seq uint64, id int32) {
+	w.count++
+	// pos tracks only membership: posQueued until the event is detached
+	// into a drain batch (posInFlight) or fired/stopped (posFree). The
+	// slot line is already hot — At just wrote fn and at.
+	w.l.slots[id].pos = posQueued
+	w.place(at, seq, id)
+}
+
+// place files an event into its bucket. Re-placement during splits and
+// overflow pulls comes through here too and touches only bucket memory,
+// never the slot pool.
+func (w *wheelSched) place(at Time, seq uint64, id int32) {
+	b := w.bucketFor(at)
+	w.buckets[b] = append(w.buckets[b], bref{at: at, seq: seq, id: id})
+	if b < overflowIdx {
+		w.occ[b>>wheelBits] |= 1 << uint(b&wheelMask)
+	} else if at < w.ovMin {
+		w.ovMin = at
+	}
+}
+
+func (w *wheelSched) cancel(id int32) {
+	w.count--
+	s := &w.l.slots[id]
+	if s.pos == posInFlight {
+		// Detached into the current drain batch; the batch's gen check
+		// (against the freed slot) makes its entry inert.
+		return
+	}
+	b := w.bucketFor(s.at)
+	bk := w.buckets[b]
+	last := len(bk) - 1
+	for p := last; ; p-- {
+		if bk[p].id != id {
+			continue
+		}
+		bk[p] = bk[last]
+		w.buckets[b] = bk[:last]
+		break
+	}
+	if last == 0 {
+		if b == overflowIdx {
+			w.ovMin = Forever
+		} else {
+			w.occ[b>>wheelBits] &^= 1 << uint(b&wheelMask)
+		}
+	}
+	// A cancelled overflow minimum can leave ovMin stale-low; that only
+	// triggers an early pull, which recomputes it.
+}
+
+func (w *wheelSched) pending() int { return w.count }
+
+// release is the arena swap: one struct reset drops every bucket, the
+// scratch batch and the occupancy state without walking queued events
+// (the Loop's epoch bump has already made their handles inert).
+func (w *wheelSched) release() {
+	l := w.l
+	*w = wheelSched{l: l, cur: l.now, ovMin: Forever}
+	w.seed()
+}
+
+func (w *wheelSched) run(deadline Time) Time {
+	l := w.l
+	for !l.stopped {
+		t, ok := w.nextTick(deadline)
+		if !ok {
+			if deadline != Forever && l.now < deadline {
+				l.now = deadline
+			}
+			return l.now
+		}
+		if t > l.now {
+			l.now = t
+		}
+		w.drainTick(t)
+	}
+	if deadline != Forever && l.now < deadline && w.count == 0 {
+		l.now = deadline
+	}
+	return l.now
+}
+
+// nextTick advances the wheel to the earliest queued timestamp if it is
+// within deadline, and reports it. cur only ever moves to timestamps
+// that are about to fire (or to the overflow minimum, equally about to
+// be examined), so a deadline-bounded Run leaves the wheel untouched
+// beyond the last fired event and consistent for later scheduling.
+func (w *wheelSched) nextTick(deadline Time) (Time, bool) {
+search:
+	for {
+		// Level 0: one tick per slot, never behind cur, so the lowest
+		// set bit is the earliest level-0 timestamp.
+		if w.occ[0] != 0 {
+			t := (w.cur &^ Time(wheelMask)) | Time(bits.TrailingZeros64(w.occ[0]))
+			// The overflow-empty check breaks the Forever tie: with
+			// events queued at t == Forever the ovMin sentinel equals t
+			// without anything to pull.
+			if w.ovMin <= t && len(w.buckets[overflowIdx]) != 0 {
+				if w.ovMin > deadline {
+					return 0, false
+				}
+				w.pull()
+				continue search
+			}
+			if t > deadline {
+				return 0, false
+			}
+			w.cur = t
+			return t, true
+		}
+
+		// Higher levels: the lowest bucket of the lowest non-empty
+		// level holds the global wheel minimum (its events share their
+		// upper digits with cur; anything at a higher level differs in
+		// a higher digit and so lies beyond all of them).
+		for k := 1; k < wheelLevels; k++ {
+			if w.occ[k] == 0 {
+				continue
+			}
+			p := bits.TrailingZeros64(w.occ[k])
+			bIdx := k*wheelSlots + p
+			bk := w.buckets[bIdx]
+			minAt := bk[0].at
+			for j := 1; j < len(bk); j++ {
+				if bk[j].at < minAt {
+					minAt = bk[j].at
+				}
+			}
+			if w.ovMin <= minAt {
+				if w.ovMin > deadline {
+					return 0, false
+				}
+				// ovMin lies between cur and an in-window wheel
+				// timestamp, so it shares cur's window and the pull is
+				// guaranteed to file it.
+				w.pull()
+				continue search
+			}
+			if minAt > deadline {
+				return 0, false
+			}
+			// Jump straight to the minimum and split the bucket once:
+			// minimum-timestamp events go directly into the drain
+			// batch, later ones re-place at a strictly lower level
+			// (they share digit k and everything above it with the new
+			// cur, so they can never land back in this bucket).
+			w.buckets[bIdx] = bk[:0]
+			w.occ[k] &^= 1 << uint(p)
+			w.cur = minAt
+			w.scratch = w.scratch[:0]
+			for _, e := range bk {
+				if e.at != minAt {
+					w.place(e.at, e.seq, e.id)
+					continue
+				}
+				s := &w.l.slots[e.id]
+				w.scratch = append(w.scratch, flight{seq: e.seq, id: e.id, gen: s.gen})
+				s.pos = posInFlight
+			}
+			w.batchPending = true
+			return minAt, true
+		}
+
+		// Wheel empty: only the overflow bucket (if anything) remains.
+		// Jump straight to its minimum — this is the one place a
+		// Forever-scheduled event is ever examined.
+		if len(w.buckets[overflowIdx]) == 0 || w.ovMin > deadline {
+			return 0, false
+		}
+		w.cur = w.ovMin
+		w.pull()
+	}
+}
+
+// pull re-files every overflow event inside the current window and
+// recomputes the overflow minimum. place never appends to the overflow
+// bucket for an in-window timestamp, so in-place compaction is safe.
+func (w *wheelSched) pull() {
+	ov := w.buckets[overflowIdx]
+	keep := ov[:0]
+	minKeep := Forever
+	for _, e := range ov {
+		if uint64(e.at^w.cur) < uint64(wheelHorizon) {
+			w.place(e.at, e.seq, e.id)
+			continue
+		}
+		keep = append(keep, e)
+		if e.at < minKeep {
+			minKeep = e.at
+		}
+	}
+	w.buckets[overflowIdx] = keep
+	w.ovMin = minKeep
+}
+
+// drainTick fires every event of one tick as a batch: detach, sort by
+// seq, fire. Callbacks may schedule into the same tick (picked up by
+// the next pass, with higher seqs), stop not-yet-fired batch members
+// (the gen check skips them), or stop the loop (the remainder is
+// re-queued so a later Run resumes exactly where the heap would).
+func (w *wheelSched) drainTick(t Time) {
+	l := w.l
+	slot := int(uint64(t) & wheelMask)
+	bit := uint64(1) << uint(slot)
+	if w.batchPending {
+		// nextTick already detached this tick's events; fire them
+		// without touching the level-0 bucket. A singleton batch — the
+		// dominant sparse-queue case — needs no sort and, since no
+		// callback has run since the detach, no gen or stop check.
+		w.batchPending = false
+		if len(w.scratch) == 1 {
+			e := w.scratch[0]
+			s := &l.slots[e.id]
+			fn := s.fn
+			w.count--
+			l.freeSlot(e.id)
+			l.fired++
+			fn()
+		} else if !w.fireBatch(slot, bit) {
+			return
+		}
+	}
+	for {
+		if l.stopped {
+			return // unfired same-tick events stay queued in the bucket
+		}
+		bk := w.buckets[slot] // level-0 bucket index == slot index
+		if len(bk) == 0 {
+			w.occ[0] &^= bit
+			return
+		}
+		if len(bk) == 1 {
+			// Singleton tick: no batch to sort and no mid-batch stop to
+			// arbitrate, so fire directly without the scratch detach.
+			e := bk[0]
+			s := &l.slots[e.id]
+			fn := s.fn
+			w.buckets[slot] = bk[:0]
+			w.occ[0] &^= bit
+			w.count--
+			l.freeSlot(e.id)
+			l.fired++
+			fn()
+			continue
+		}
+		w.scratch = w.scratch[:0]
+		for _, e := range bk {
+			s := &l.slots[e.id]
+			w.scratch = append(w.scratch, flight{seq: e.seq, id: e.id, gen: s.gen})
+			s.pos = posInFlight
+		}
+		w.buckets[slot] = bk[:0]
+		w.occ[0] &^= bit
+		if !w.fireBatch(slot, bit) {
+			return
+		}
+	}
+}
+
+// fireBatch sorts the detached scratch batch by seq and fires it,
+// re-queuing the unfired remainder if a callback stops the loop. It
+// reports whether the drain should continue.
+func (w *wheelSched) fireBatch(slot int, bit uint64) bool {
+	l := w.l
+	sortFlights(w.scratch)
+	for i := 0; i < len(w.scratch); i++ {
+		if l.stopped {
+			w.requeue(slot, bit, w.scratch[i:])
+			return false
+		}
+		e := w.scratch[i]
+		s := &l.slots[e.id]
+		if s.gen != e.gen {
+			continue // stopped by an earlier callback in this batch
+		}
+		fn := s.fn
+		w.count--
+		l.freeSlot(e.id)
+		l.fired++
+		fn()
+	}
+	return true
+}
+
+// requeue puts the unfired tail of a stopped batch back into its
+// level-0 bucket. Order relative to any events the batch's callbacks
+// scheduled for the same tick is irrelevant: the next drain re-sorts
+// by seq.
+func (w *wheelSched) requeue(slot int, bit uint64, rest []flight) {
+	l := w.l
+	for _, e := range rest {
+		s := &l.slots[e.id]
+		if s.gen != e.gen {
+			continue
+		}
+		s.pos = posQueued
+		w.buckets[slot] = append(w.buckets[slot], bref{at: s.at, seq: e.seq, id: e.id})
+		w.occ[0] |= bit
+	}
+}
+
+// sortFlights orders a drain batch by seq. Insertion order is already
+// seq order unless a split interleaved with direct placement, so an
+// O(n) sortedness check guards an in-place heapsort.
+func sortFlights(s []flight) {
+	for i := 1; i < len(s); i++ {
+		if s[i].seq < s[i-1].seq {
+			goto sort
+		}
+	}
+	return
+sort:
+	n := len(s)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftFlight(s, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		s[0], s[end] = s[end], s[0]
+		siftFlight(s, 0, end)
+	}
+}
+
+func siftFlight(s []flight, i, n int) {
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && s[c+1].seq > s[c].seq {
+			c++
+		}
+		if s[i].seq >= s[c].seq {
+			return
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+}

@@ -1,0 +1,348 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// bothSchedulers runs fn once per scheduler so every edge case below is
+// pinned on the wheel and the heap alike.
+func bothSchedulers(t *testing.T, fn func(t *testing.T, s Scheduler)) {
+	t.Helper()
+	for _, s := range []Scheduler{SchedulerWheel, SchedulerHeap} {
+		t.Run(s.String(), func(t *testing.T) { fn(t, s) })
+	}
+}
+
+// TestWheelStopThenFireSameBatch schedules several events at one
+// timestamp and has the first fired callback stop a later one in the
+// same batch. The stopped event must not fire even though it was already
+// detached into the in-flight batch when Stop ran.
+func TestWheelStopThenFireSameBatch(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, s Scheduler) {
+		loop := NewLoopWith(s)
+		var fired []int
+		var victim Timer
+		loop.At(100, func() {
+			fired = append(fired, 0)
+			if !victim.Stop() {
+				t.Error("Stop of same-batch pending timer reported false")
+			}
+		})
+		victim = loop.At(100, func() { fired = append(fired, 1) })
+		loop.At(100, func() { fired = append(fired, 2) })
+		loop.RunUntilIdle()
+		want := []int{0, 2}
+		if fmt.Sprint(fired) != fmt.Sprint(want) {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+		if got := loop.Fired(); got != 2 {
+			t.Fatalf("Fired() = %d, want 2", got)
+		}
+		if loop.Pending() != 0 {
+			t.Fatalf("Pending() = %d after idle, want 0", loop.Pending())
+		}
+	})
+}
+
+// TestWheelRescheduleInCallback has a callback stop its sibling and
+// reschedule the same logical work later, including rescheduling at the
+// current instant (which must join the tail of the running batch).
+func TestWheelRescheduleInCallback(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, s Scheduler) {
+		loop := NewLoopWith(s)
+		var trace []string
+		var later Timer
+		loop.At(50, func() {
+			trace = append(trace, "first@"+loop.Now().String())
+			later.Stop()
+			// Reschedule at the same instant: must fire within this
+			// same tick, after already-queued same-time events.
+			loop.At(50, func() { trace = append(trace, "requeued@"+loop.Now().String()) })
+			loop.At(200, func() { trace = append(trace, "moved@"+loop.Now().String()) })
+		})
+		later = loop.At(120, func() { trace = append(trace, "later") })
+		loop.At(50, func() { trace = append(trace, "second@"+loop.Now().String()) })
+		loop.RunUntilIdle()
+		want := "[first@50ns second@50ns requeued@50ns moved@200ns]"
+		if got := fmt.Sprint(trace); got != want {
+			t.Fatalf("trace %s, want %s", got, want)
+		}
+	})
+}
+
+// TestWheelSameTimestampSeqAcrossBuckets pins (time, seq) ordering when
+// equal-time events enter the wheel through different buckets: one
+// scheduled far ahead (landing in a high level, later split down) and
+// one scheduled for the same instant from a callback running just before
+// it (landing directly in level 0). Sequence order must still win.
+func TestWheelSameTimestampSeqAcrossBuckets(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, s Scheduler) {
+		loop := NewLoopWith(s)
+		const target = Time(1 << 20) // well beyond level 0's 64 ns span
+		var fired []string
+		// seq 1: placed from t=0, lands in a high-level bucket.
+		loop.At(target, func() { fired = append(fired, "early-sched") })
+		// seq 2: a callback one tick before target schedules for target;
+		// by then cur is close enough that it lands in a low bucket.
+		loop.At(target-1, func() {
+			loop.At(target, func() { fired = append(fired, "late-sched") })
+		})
+		loop.RunUntilIdle()
+		want := "[early-sched late-sched]"
+		if got := fmt.Sprint(fired); got != want {
+			t.Fatalf("fired %s, want %s (seq order must survive bucket geometry)", got, want)
+		}
+	})
+}
+
+// TestWheelForeverNeverCascades parks an event at t=Forever behind a
+// normal workload. The sentinel must sit in the overflow bucket without
+// ever being cascaded or blocking progress, and a deadline-bounded Run
+// must not fire it.
+func TestWheelForeverNeverCascades(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, s Scheduler) {
+		loop := NewLoopWith(s)
+		foreverFired := false
+		tm := loop.At(Forever, func() { foreverFired = true })
+		count := 0
+		for i := 1; i <= 100; i++ {
+			loop.At(Time(i)*Time(time.Millisecond), func() { count++ })
+		}
+		loop.Run(Time(200 * time.Millisecond))
+		if count != 100 {
+			t.Fatalf("fired %d normal events, want 100", count)
+		}
+		if foreverFired {
+			t.Fatal("Forever-scheduled event fired during bounded run")
+		}
+		if !tm.Pending() {
+			t.Fatal("Forever-scheduled event no longer pending")
+		}
+		if got := loop.Now(); got != Time(200*time.Millisecond) {
+			t.Fatalf("Now() = %v, want 200ms", got)
+		}
+		// An unbounded run does fire it — Forever is a timestamp, not a
+		// tombstone — and both schedulers agree.
+		loop.RunUntilIdle()
+		if !foreverFired {
+			t.Fatal("Forever-scheduled event never fired under RunUntilIdle")
+		}
+		if got := loop.Now(); got != Forever {
+			t.Fatalf("Now() = %v after firing Forever event, want forever", got)
+		}
+	})
+}
+
+// TestWheelDeadlineResume runs to a deadline that lands between events,
+// asserts the clock parks exactly there, then resumes and checks nothing
+// was lost or reordered by the pause.
+func TestWheelDeadlineResume(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, s Scheduler) {
+		loop := NewLoopWith(s)
+		var fired []Time
+		for _, at := range []Time{10, 1000, 70_000, 5_000_000} {
+			at := at
+			loop.At(at, func() { fired = append(fired, at) })
+		}
+		loop.Run(500)
+		if got := fmt.Sprint(fired); got != "[10ns]" {
+			t.Fatalf("fired %s before deadline 500, want [10ns]", got)
+		}
+		if loop.Now() != 500 {
+			t.Fatalf("Now() = %v at deadline, want 500ns", loop.Now())
+		}
+		// Schedule more work from the paused state, below and above the
+		// already-queued horizon.
+		loop.At(600, func() { fired = append(fired, 600) })
+		loop.RunUntilIdle()
+		want := "[10ns 600ns 1µs 70µs 5ms]"
+		if got := fmt.Sprint(fired); got != want {
+			t.Fatalf("fired %s, want %s", got, want)
+		}
+	})
+}
+
+// TestWheelStopMidBatchResume stops the loop from inside a same-time
+// batch; the untouched remainder of the batch must survive and fire, in
+// seq order, on the next Run.
+func TestWheelStopMidBatchResume(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, s Scheduler) {
+		loop := NewLoopWith(s)
+		var fired []int
+		for i := 0; i < 6; i++ {
+			i := i
+			loop.At(1000, func() {
+				fired = append(fired, i)
+				if i == 2 {
+					loop.Stop()
+				}
+			})
+		}
+		loop.RunUntilIdle()
+		if got := fmt.Sprint(fired); got != "[0 1 2]" {
+			t.Fatalf("fired %s after Stop, want [0 1 2]", got)
+		}
+		if got := loop.Pending(); got != 3 {
+			t.Fatalf("Pending() = %d after mid-batch stop, want 3", got)
+		}
+		loop.RunUntilIdle()
+		if got := fmt.Sprint(fired); got != "[0 1 2 3 4 5]" {
+			t.Fatalf("fired %s after resume, want [0 1 2 3 4 5]", got)
+		}
+	})
+}
+
+// TestWheelReleaseMidBatch releases the loop (epoch bump + arena drop)
+// and checks stale handles are inert and the loop stays usable.
+func TestWheelReleaseReuse(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, s Scheduler) {
+		loop := NewLoopWith(s)
+		stale := loop.At(500, func() { t.Error("released event fired") })
+		loop.At(900, func() { t.Error("released event fired") })
+		loop.Release()
+		if stale.Pending() {
+			t.Fatal("stale handle Pending after Release")
+		}
+		if stale.Stop() {
+			t.Fatal("stale handle Stop reported true after Release")
+		}
+		if loop.Pending() != 0 {
+			t.Fatalf("Pending() = %d after Release, want 0", loop.Pending())
+		}
+		ok := false
+		loop.At(1200, func() { ok = true })
+		loop.RunUntilIdle()
+		if !ok {
+			t.Fatal("loop unusable after Release")
+		}
+	})
+}
+
+// traceEvent is one firing observed by the differential workload.
+type traceEvent struct {
+	at    Time
+	label int
+}
+
+// runScheduleWorkload drives one pseudo-random schedule/stop/reschedule
+// workload against a loop and returns the full firing trace. The
+// workload exercises every wheel path: dense same-timestamp batches,
+// far-future events that cascade through multiple levels, cancels of
+// queued and in-flight timers, nested scheduling from callbacks, and
+// deadline-bounded run segments.
+func runScheduleWorkload(s Scheduler, seed uint64) ([]traceEvent, uint64) {
+	loop := NewLoopWith(s)
+	rng := NewRNG(seed)
+	var trace []traceEvent
+	var live []Timer
+	label := 0
+
+	var spawn func(depth int) func()
+	spawn = func(depth int) func() {
+		id := label
+		label++
+		return func() {
+			trace = append(trace, traceEvent{at: loop.Now(), label: id})
+			if depth >= 3 {
+				return
+			}
+			// From inside a callback, sometimes schedule more work —
+			// including same-instant events and far-horizon events —
+			// and sometimes stop a random live timer.
+			n := rng.Intn(4)
+			for i := 0; i < n; i++ {
+				var d Time
+				switch rng.Intn(4) {
+				case 0:
+					d = 0 // same tick: joins the running batch
+				case 1:
+					d = Time(rng.Intn(64)) // same level-0 span
+				case 2:
+					d = Time(rng.Intn(1 << 14)) // mid levels
+				default:
+					d = Time(rng.Intn(1 << 30)) // deep levels / overflow
+				}
+				live = append(live, loop.At(loop.Now()+d, spawn(depth+1)))
+			}
+			if len(live) > 0 && rng.Bool(0.3) {
+				live[rng.Intn(len(live))].Stop()
+			}
+		}
+	}
+
+	for i := 0; i < 200; i++ {
+		live = append(live, loop.At(Time(rng.Intn(1<<22)), spawn(0)))
+	}
+	// Alternate bounded runs (pausing mid-workload) with more external
+	// scheduling, then drain.
+	for _, frac := range []Time{1 << 18, 1 << 20, 1 << 21} {
+		loop.Run(frac)
+		for i := 0; i < 20; i++ {
+			live = append(live, loop.At(loop.Now()+Time(rng.Intn(1<<22)), spawn(0)))
+		}
+	}
+	loop.RunUntilIdle()
+	return trace, loop.Fired()
+}
+
+// TestSchedulerDifferentialRandom replays identical seeded workloads
+// through the heap and the wheel and requires bit-identical firing
+// traces (timestamp and label of every callback, in order) and Fired()
+// counts. Labels are assigned in seq order, so trace equality pins the
+// (time, seq) contract across every bucket/cascade/cancel path the
+// workload touches.
+func TestSchedulerDifferentialRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			heapTrace, heapFired := runScheduleWorkload(SchedulerHeap, seed)
+			wheelTrace, wheelFired := runScheduleWorkload(SchedulerWheel, seed)
+			if heapFired != wheelFired {
+				t.Fatalf("Fired(): heap %d, wheel %d", heapFired, wheelFired)
+			}
+			if len(heapTrace) != len(wheelTrace) {
+				t.Fatalf("trace length: heap %d, wheel %d", len(heapTrace), len(wheelTrace))
+			}
+			for i := range heapTrace {
+				if heapTrace[i] != wheelTrace[i] {
+					t.Fatalf("trace[%d]: heap %+v, wheel %+v", i, heapTrace[i], wheelTrace[i])
+				}
+			}
+		})
+	}
+}
+
+// TestWheelPendingAcrossLevels cross-checks Pending() bookkeeping while
+// timers spread over every level are scheduled, cancelled and fired.
+func TestWheelPendingAcrossLevels(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, s Scheduler) {
+		loop := NewLoopWith(s)
+		var timers []Timer
+		// One timer per level span, plus overflow.
+		for _, at := range []Time{3, 200, 9000, 1 << 19, 1 << 25, 1 << 31, 1 << 40} {
+			timers = append(timers, loop.At(at, func() {}))
+		}
+		if got := loop.Pending(); got != len(timers) {
+			t.Fatalf("Pending() = %d, want %d", got, len(timers))
+		}
+		// Cancel every other one.
+		cancelled := 0
+		for i := 0; i < len(timers); i += 2 {
+			if timers[i].Stop() {
+				cancelled++
+			}
+		}
+		if got := loop.Pending(); got != len(timers)-cancelled {
+			t.Fatalf("Pending() = %d after cancels, want %d", got, len(timers)-cancelled)
+		}
+		loop.RunUntilIdle()
+		if got := loop.Pending(); got != 0 {
+			t.Fatalf("Pending() = %d after drain, want 0", got)
+		}
+		if got := loop.Fired(); got != uint64(len(timers)-cancelled) {
+			t.Fatalf("Fired() = %d, want %d", got, len(timers)-cancelled)
+		}
+	})
+}
