@@ -10,6 +10,11 @@
 //	spdysim -exp all -parallel 8  # bound the worker pool explicitly
 //	spdysim -har run.har -mode spdy -network 3g
 //	                              # one full session, exported as HAR
+//	spdysim -exp scale -runs 100000 -fabric 8 -checkpoint ckpt/
+//	                              # million-run-scale sweep across 8
+//	                              # worker processes, resumable
+//	spdysim -exp scale -runs 100000 -fabric 8 -checkpoint ckpt/ -resume
+//	                              # replay the journal, run missing shards
 //
 // Sweeps fan their seeds out across a worker pool (GOMAXPROCS workers by
 // default, -parallel overrides) and memoize each (network, mode, flags,
@@ -17,6 +22,10 @@
 // though many experiments sweep the same baselines. Results are
 // bit-for-bit identical to serial runs: each seed is an isolated
 // deterministic simulation and output slices are ordered by seed.
+// -fabric N additionally fans streaming-sweep shards out to N worker
+// processes (re-execs of this binary); the shard-order merge keeps the
+// output bit-identical at every worker count, and -checkpoint/-resume
+// journal completed shards so a killed sweep continues where it stopped.
 package main
 
 import (
@@ -26,10 +35,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
+	"strconv"
 	"time"
 
 	"spdier/internal/browser"
 	"spdier/internal/experiment"
+	"spdier/internal/fabric"
 	"spdier/internal/trace"
 )
 
@@ -47,6 +58,15 @@ func main() {
 		mode     = flag.String("mode", "spdy", "protocol for -har runs: http or spdy")
 		network  = flag.String("network", "3g", "access network for -har runs: 3g, lte or wifi")
 
+		fabricN = flag.Int("fabric", 0,
+			"fan sweep shards out to this many worker processes (0 = in-process); results are bit-identical at any count")
+		checkpoint = flag.String("checkpoint", "",
+			"journal completed sweep shards to this directory (requires -fabric)")
+		resume = flag.Bool("resume", false,
+			"replay a -checkpoint journal, re-running only missing shards")
+		fabricWorker = flag.Bool("fabric-worker", false,
+			"internal: run as a fabric worker process (reads jobs on stdin, writes frames on stdout)")
+
 		probestride = flag.Int("probestride", experiment.DefaultProbeStride(),
 			"retain every Nth bulk (ack/send) tcp_probe sample; 1 keeps all (counters stay exact regardless)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -56,6 +76,14 @@ func main() {
 	flag.Parse()
 
 	experiment.SetDefaultProbeStride(*probestride)
+
+	if *fabricWorker {
+		// Hidden re-exec mode: the fabric coordinator spawns copies of
+		// this binary with -fabric-worker and streams shard jobs over
+		// stdin/stdout. Everything below (profiles, HAR, experiments)
+		// belongs to the coordinator process only.
+		os.Exit(fabric.WorkerMain(os.Stdin, os.Stdout))
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -160,6 +188,33 @@ func main() {
 	}
 	runner := experiment.DefaultRunner()
 	runner.SetCacheCapacity(cacheCap)
+
+	var coord *fabric.Coordinator
+	if *checkpoint != "" && *fabricN <= 0 {
+		fmt.Fprintln(os.Stderr, "-checkpoint requires -fabric N (the journal records fabric shards)")
+		os.Exit(2)
+	}
+	if *fabricN > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot locate own binary for fabric re-exec: %v\n", err)
+			os.Exit(1)
+		}
+		coord, err = fabric.NewCoordinator(fabric.Config{
+			Workers:       *fabricN,
+			WorkerCmd:     []string{exe, "-fabric-worker", "-probestride", strconv.Itoa(*probestride)},
+			CheckpointDir: *checkpoint,
+			Resume:        *resume,
+			OnProgress:    runner.NoteExternalRuns,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer coord.Close()
+		runner.SetShardExecutor(coord)
+	}
+
 	h := experiment.Harness{Runs: *runs, Seed: *seed}
 	specs := experiment.All()
 	if *exp != "all" {
@@ -211,4 +266,9 @@ func main() {
 		cs.Misses, cs.Hits, 100*cs.HitRate())
 	fmt.Printf("stream cache: %d per-run aggregate(s), %d replayed (%.0f%% hit rate)\n",
 		ss.Misses, ss.Hits, 100*ss.HitRate())
+	if coord != nil {
+		fs := coord.Stats()
+		fmt.Printf("fabric: %d worker(s), %d shard(s) computed remotely, %d replayed from journal, %d respawn(s)\n",
+			coord.Workers(), fs.ShardsRemote, fs.ShardsReplayed, fs.Respawns)
+	}
 }

@@ -10,6 +10,7 @@ package spdier_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"sync"
 	"testing"
@@ -17,19 +18,22 @@ import (
 
 	"spdier/internal/browser"
 	"spdier/internal/experiment"
+	"spdier/internal/fabric"
 	"spdier/internal/netem"
 	"spdier/internal/sim"
 	"spdier/internal/tcpsim"
 	"spdier/internal/webpage"
 )
 
+type benchReportT = struct {
+	sync.Mutex
+	m map[string]map[string]float64
+}
+
 // benchReport accumulates headline numbers from the guardrail
 // benchmarks; TestMain serializes it to BENCH_hotpath.json after the
 // run so the file reflects whichever benchmarks actually executed.
-var benchReport = struct {
-	sync.Mutex
-	m map[string]map[string]float64
-}{m: map[string]map[string]float64{}}
+var benchReport = benchReportT{m: map[string]map[string]float64{}}
 
 func reportBench(name string, metrics map[string]float64) {
 	benchReport.Lock()
@@ -40,10 +44,7 @@ func reportBench(name string, metrics map[string]float64) {
 // sweepReport collects the sweep-engine guardrail numbers separately, so
 // BENCH_sweep.json tracks the population-scale path on its own trend
 // line next to BENCH_hotpath.json.
-var sweepReport = struct {
-	sync.Mutex
-	m map[string]map[string]float64
-}{m: map[string]map[string]float64{}}
+var sweepReport = benchReportT{m: map[string]map[string]float64{}}
 
 func reportSweep(name string, metrics map[string]float64) {
 	sweepReport.Lock()
@@ -51,17 +52,51 @@ func reportSweep(name string, metrics map[string]float64) {
 	sweepReport.Unlock()
 }
 
-// writeBenchFile serializes a bench report to path. Any failure — create,
-// encode, or close — is returned so TestMain can fail the run loudly: a
-// silently missing BENCH file breaks the perf trend line CI archives.
-func writeBenchFile(path string, report *struct {
-	sync.Mutex
-	m map[string]map[string]float64
-}) error {
+// benchFiles names each BENCH file's report plus the benchmark entries
+// it must never lose. A partial `-bench` run merges into the existing
+// file instead of truncating it (a full-suite baseline survives
+// single-benchmark runs), and a write that would still leave an expected
+// entry missing fails loudly — that is exactly the corruption that once
+// reduced BENCH_hotpath.json to a lone BenchmarkLoop entry.
+var benchFiles = []struct {
+	path     string
+	report   *benchReportT
+	expected []string
+}{
+	{"BENCH_hotpath.json", &benchReport, []string{"BenchmarkLoop", "BenchmarkPageLoadsPerHour", "BenchmarkTransfer"}},
+	{"BENCH_sweep.json", &sweepReport, []string{"BenchmarkSweep", "BenchmarkSweepFabric"}},
+}
+
+// writeBenchFile merges a bench report into the existing file at path
+// and rewrites it. Any failure — read, create, encode, close, or an
+// expected benchmark entry missing from the merged result — is returned
+// so TestMain can fail the run loudly: a silently truncated BENCH file
+// breaks the perf trend line CI archives.
+func writeBenchFile(path string, report *benchReportT, expected []string) error {
 	report.Lock()
 	defer report.Unlock()
 	if len(report.m) == 0 {
 		return nil
+	}
+	merged := map[string]map[string]float64{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &merged); err != nil {
+			return fmt.Errorf("existing file unparsable (refusing to overwrite): %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	for name, metrics := range report.m {
+		merged[name] = metrics
+	}
+	var missing []string
+	for _, name := range expected {
+		if _, ok := merged[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("benchmark entries %v missing after merge; run the full bench suite once to seed them", missing)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -69,7 +104,7 @@ func writeBenchFile(path string, report *struct {
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(report.m); err != nil {
+	if err := enc.Encode(merged); err != nil {
 		f.Close()
 		return err
 	}
@@ -77,21 +112,21 @@ func writeBenchFile(path string, report *struct {
 }
 
 func TestMain(m *testing.M) {
+	// Fabric worker re-exec mode: the fabric tests spawn this test binary
+	// as their worker process, gated by env so a normal `go test` run
+	// never enters it.
+	if os.Getenv("SPDYSIM_FABRIC_WORKER") == "1" {
+		os.Exit(fabric.WorkerMain(os.Stdin, os.Stdout))
+	}
 	// SIM_SCHED=heap re-runs the whole binary on the 4-ary heap
 	// scheduler, for wheel-vs-heap A/B benchmark comparisons.
 	if os.Getenv("SIM_SCHED") == "heap" {
 		sim.SetDefaultScheduler(sim.SchedulerHeap)
 	}
 	code := m.Run()
-	for path, report := range map[string]*struct {
-		sync.Mutex
-		m map[string]map[string]float64
-	}{
-		"BENCH_hotpath.json": &benchReport,
-		"BENCH_sweep.json":   &sweepReport,
-	} {
-		if err := writeBenchFile(path, report); err != nil {
-			os.Stderr.WriteString("writing " + path + ": " + err.Error() + "\n")
+	for _, bf := range benchFiles {
+		if err := writeBenchFile(bf.path, bf.report, bf.expected); err != nil {
+			os.Stderr.WriteString("writing " + bf.path + ": " + err.Error() + "\n")
 			if code == 0 {
 				code = 1
 			}

@@ -10,7 +10,9 @@
 // (experiment) and the aggregators (stats). Code outside the set —
 // liveproxy, validate, httpwire, cmd — talks to real sockets and real
 // time by design, so wall-clock and goroutine-order effects are part of
-// its contract, not a bug.
+// its contract, not a bug. The process fabric (fabric) is split down
+// the middle: its worker/wire/journal files are held to the
+// deterministic bar, its coordinator is not.
 package simlint
 
 import (
@@ -76,6 +78,19 @@ func isPooled(importPath string) bool {
 	return false
 }
 
+// fabricDeterministicFile scopes wallclock inside internal/fabric to
+// the worker side of its fence: the worker loop, wire codec and journal
+// must stay wallclock-clean so a shard folded in a worker process is a
+// pure function of its job spec. coordinator.go alone owns real time
+// (process deadlines, respawn) by design, so it is excluded.
+func fabricDeterministicFile(base string) bool {
+	switch base {
+	case "worker.go", "wire.go", "journal.go":
+		return true
+	}
+	return false
+}
+
 // probeReportFile scopes clockarith to the files that render or record
 // measurements — where a magic duration threshold changes reported
 // numbers rather than simulated behaviour.
@@ -102,6 +117,13 @@ func ForPackage(importPath string) ([]*analysis.Analyzer, map[string]func(string
 			clockarith.Analyzer,
 		)
 		filters[clockarith.Analyzer.Name] = probeReportFile
+	} else if importPath == "spdier/internal/fabric" {
+		// The process fabric straddles the fence: its worker loop, wire
+		// codec and journal are deterministic (a shard's bytes must not
+		// depend on which process folded it), while its coordinator owns
+		// real time. Wallclock is therefore scoped per file.
+		out = append(out, wallclock.Analyzer, globalrand.Analyzer, maprange.Analyzer)
+		filters[wallclock.Analyzer.Name] = fabricDeterministicFile
 	} else if isPooled(importPath) {
 		out = append(out, poolbalance.Analyzer)
 	}

@@ -1,12 +1,18 @@
 package experiment
 
 import (
+	"fmt"
+
 	"spdier/internal/browser"
 	"spdier/internal/stats"
 )
 
 func init() {
 	register("scale", "Population-scale PLT distribution (streaming sweep)", runScale)
+	// Registered for the process fabric: a -fabric sweep ships this name
+	// to worker processes, which rebuild the accumulator, fold their
+	// shard, and stream the encoded state back.
+	RegisterFolder("plt", newPLTFolder)
 }
 
 // pltFolder is the scale experiment's shard accumulator: mergeable
@@ -42,6 +48,57 @@ func (f *pltFolder) Merge(o Folder) {
 	f.hist.Merge(&of.hist)
 	f.retx.Merge(&of.retx)
 	f.incomplete += of.incomplete
+}
+
+// pltFolderVersion frames the composite encoding; each sub-accumulator
+// carries its own version inside its blob.
+const pltFolderVersion = 1
+
+// MarshalBinary encodes the folder as a version byte followed by the
+// length-prefixed sub-accumulator blobs in fixed order.
+func (f *pltFolder) MarshalBinary() ([]byte, error) {
+	out := []byte{pltFolderVersion}
+	var err error
+	if out, err = appendBlob(out, &f.plt); err != nil {
+		return nil, err
+	}
+	if out, err = appendBlob(out, &f.pltQ); err != nil {
+		return nil, err
+	}
+	if out, err = appendBlob(out, &f.hist); err != nil {
+		return nil, err
+	}
+	if out, err = appendBlob(out, &f.retx); err != nil {
+		return nil, err
+	}
+	out = append(out, byte(f.incomplete), byte(f.incomplete>>8), byte(f.incomplete>>16), byte(f.incomplete>>24))
+	return out, nil
+}
+
+// UnmarshalBinary replaces the folder with the encoded state.
+func (f *pltFolder) UnmarshalBinary(data []byte) error {
+	if len(data) < 1 || data[0] != pltFolderVersion {
+		return fmt.Errorf("experiment: pltFolder encoding version mismatch")
+	}
+	data = data[1:]
+	var err error
+	if data, err = takeBlob(data, &f.plt); err != nil {
+		return err
+	}
+	if data, err = takeBlob(data, &f.pltQ); err != nil {
+		return err
+	}
+	if data, err = takeBlob(data, &f.hist); err != nil {
+		return err
+	}
+	if data, err = takeBlob(data, &f.retx); err != nil {
+		return err
+	}
+	if len(data) != 4 {
+		return fmt.Errorf("experiment: malformed pltFolder encoding")
+	}
+	f.incomplete = int(data[0]) | int(data[1])<<8 | int(data[2])<<16 | int(data[3])<<24
+	return nil
 }
 
 // runScale is the methodology extension the streaming engine exists for:

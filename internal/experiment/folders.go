@@ -1,0 +1,136 @@
+// Folder registry and binary codec: the hooks the process-level sweep
+// fabric (internal/fabric) needs to run SweepStream shards in worker
+// processes. A worker is handed a folder *name* over the wire, rebuilds
+// the accumulator via the registry, folds its shard, and streams the
+// encoded state back; the coordinator decodes it and hands it to the
+// shard-order merge. Because the stats encodings are bit-exact, a
+// decoded shard merges identically to one folded in-process.
+package experiment
+
+import (
+	"encoding"
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// BinaryFolder is a Folder whose accumulated state round-trips through a
+// stable binary encoding bit-exactly. Folders must implement it to be
+// registered for fabric execution: encode(state) decoded into a fresh
+// instance must reproduce the state exactly, so that shard-order merges
+// of wire-travelled shards equal in-process merges byte for byte.
+type BinaryFolder interface {
+	Folder
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+}
+
+var folderReg = struct {
+	sync.Mutex
+	byName map[string]func() Folder
+	byType map[reflect.Type]string
+}{
+	byName: map[string]func() Folder{},
+	byType: map[reflect.Type]string{},
+}
+
+// RegisterFolder names a shard-accumulator constructor so worker
+// processes can rebuild it from its wire name. The constructor's product
+// must implement BinaryFolder; registering a duplicate name or concrete
+// type panics (both directions of the mapping must stay unambiguous).
+func RegisterFolder(name string, ctor func() Folder) {
+	probe := ctor()
+	if _, ok := probe.(BinaryFolder); !ok {
+		panic(fmt.Sprintf("experiment: folder %q (%T) does not implement BinaryFolder", name, probe))
+	}
+	t := reflect.TypeOf(probe)
+	folderReg.Lock()
+	defer folderReg.Unlock()
+	if _, dup := folderReg.byName[name]; dup {
+		panic(fmt.Sprintf("experiment: folder name %q registered twice", name))
+	}
+	if prev, dup := folderReg.byType[t]; dup {
+		panic(fmt.Sprintf("experiment: folder type %v registered as both %q and %q", t, prev, name))
+	}
+	folderReg.byName[name] = ctor
+	folderReg.byType[t] = name
+}
+
+// NewFolder constructs a fresh accumulator for a registered name.
+func NewFolder(name string) (Folder, bool) {
+	folderReg.Lock()
+	ctor, ok := folderReg.byName[name]
+	folderReg.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return ctor(), true
+}
+
+// FolderName reports the registered wire name for f's concrete type.
+func FolderName(f Folder) (string, bool) {
+	folderReg.Lock()
+	name, ok := folderReg.byType[reflect.TypeOf(f)]
+	folderReg.Unlock()
+	return name, ok
+}
+
+// EncodeFolder serializes a folder's accumulated state. The folder must
+// implement BinaryFolder (guaranteed for registered folders).
+func EncodeFolder(f Folder) ([]byte, error) {
+	bf, ok := f.(BinaryFolder)
+	if !ok {
+		return nil, fmt.Errorf("experiment: %T does not implement BinaryFolder", f)
+	}
+	return bf.MarshalBinary()
+}
+
+// DecodeFolder rebuilds a registered folder from EncodeFolder bytes.
+func DecodeFolder(name string, data []byte) (Folder, error) {
+	f, ok := NewFolder(name)
+	if !ok {
+		return nil, fmt.Errorf("experiment: folder %q not registered", name)
+	}
+	if err := f.(BinaryFolder).UnmarshalBinary(data); err != nil {
+		return nil, fmt.Errorf("experiment: decoding folder %q: %w", name, err)
+	}
+	return f, nil
+}
+
+// ShardExecutor computes one SweepStream shard somewhere other than the
+// calling goroutine — the process-fabric coordinator implements it over
+// a pool of worker processes. ExecuteShard returns the shard's folded
+// accumulator, or nil to decline (unregistered folder, non-canonical
+// options, exhausted workers), in which case the sweep falls back to
+// the in-process path for that shard. Implementations must be safe for
+// concurrent calls.
+type ShardExecutor interface {
+	ExecuteShard(h Harness, base Options, shard int, newShard func() Folder) Folder
+}
+
+// Helpers shared by the composite folder encoders: length-prefixed
+// concatenation of sub-accumulator blobs.
+
+func appendBlob(out []byte, m encoding.BinaryMarshaler) ([]byte, error) {
+	b, err := m.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, byte(len(b)), byte(len(b)>>8), byte(len(b)>>16), byte(len(b)>>24))
+	return append(out, b...), nil
+}
+
+func takeBlob(data []byte, u encoding.BinaryUnmarshaler) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("experiment: truncated folder blob header")
+	}
+	n := int(data[0]) | int(data[1])<<8 | int(data[2])<<16 | int(data[3])<<24
+	data = data[4:]
+	if n < 0 || len(data) < n {
+		return nil, fmt.Errorf("experiment: truncated folder blob (%d of %d bytes)", len(data), n)
+	}
+	if err := u.UnmarshalBinary(data[:n]); err != nil {
+		return nil, err
+	}
+	return data[n:], nil
+}

@@ -21,6 +21,12 @@ type Runner struct {
 	stats    *memoCache[*RunStats]
 	sem      chan struct{}
 
+	// shardExec, when non-nil, is offered every SweepStream shard before
+	// the in-process fold (the process-fabric coordinator). Guarded by
+	// shardExecMu: it is installed once at startup but read per sweep.
+	shardExecMu sync.RWMutex
+	shardExec   ShardExecutor
+
 	// Progress counters for long sweeps (-progress in cmd/spdysim).
 	// runsDone counts every completed run over the runner's lifetime;
 	// sweepDone/sweepTotal track the sweep currently in flight (the
@@ -54,6 +60,31 @@ func (r *Runner) beginSweep(total int) {
 func (r *Runner) noteRun() {
 	r.runsDone.Add(1)
 	r.sweepDone.Add(1)
+}
+
+// NoteExternalRuns credits n runs computed outside this process (fabric
+// worker progress frames, journal replays) to the progress counters, so
+// -progress ETAs aggregate across worker processes.
+func (r *Runner) NoteExternalRuns(n int) {
+	if n <= 0 {
+		return
+	}
+	r.runsDone.Add(uint64(n))
+	r.sweepDone.Add(uint64(n))
+}
+
+// SetShardExecutor installs (or, with nil, removes) the executor offered
+// every SweepStream shard before the in-process fold.
+func (r *Runner) SetShardExecutor(ex ShardExecutor) {
+	r.shardExecMu.Lock()
+	r.shardExec = ex
+	r.shardExecMu.Unlock()
+}
+
+func (r *Runner) shardExecutor() ShardExecutor {
+	r.shardExecMu.RLock()
+	defer r.shardExecMu.RUnlock()
+	return r.shardExec
 }
 
 // Progress reports lifetime completed runs plus the current sweep's
@@ -156,6 +187,7 @@ func SetParallelism(n int) {
 	defaultRunner = NewRunner(n)
 	defaultRunner.cache = old.cache
 	defaultRunner.stats = old.stats
+	defaultRunner.shardExec = old.shardExecutor()
 }
 
 // DefaultRunner returns the shared runner.

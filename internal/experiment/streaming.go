@@ -259,47 +259,105 @@ type Folder interface {
 // folds. It is a pure function of nothing — the shard partition depends
 // only on h.Runs — so shard boundaries, and therefore every float fold
 // order, are identical at any parallelism: serial and sharded-parallel
-// sweeps produce bit-identical merged state.
+// sweeps produce bit-identical merged state. The process fabric reuses
+// exactly this partition, which is why a fabric sweep's merged state is
+// bit-identical to the in-process engine at any worker count.
 const sweepShardSize = 16
+
+// ShardCount reports how many fixed-size shards a sweep of runs seeds
+// partitions into — the same partition SweepStream folds and merges.
+func ShardCount(runs int) int {
+	if runs <= 0 {
+		return 0
+	}
+	return (runs + sweepShardSize - 1) / sweepShardSize
+}
+
+// ShardRange reports the half-open seed-index range [lo, hi) of shard
+// si in a sweep of runs seeds.
+func ShardRange(runs, si int) (lo, hi int) {
+	lo = si * sweepShardSize
+	hi = lo + sweepShardSize
+	if hi > runs {
+		hi = runs
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// FillShard folds shard si's runs into f exactly as the in-process
+// sweep path does: consecutive seeds, fold order ascending, one lean
+// aggregate run per seed. Worker processes and the in-process engine
+// both go through this one function, so their accumulator states are
+// identical by construction. onRun, when non-nil, is invoked after each
+// folded run (the fabric worker streams a progress frame from it).
+func (r *Runner) FillShard(h Harness, base Options, si int, f Folder, onRun func()) {
+	lo, hi := ShardRange(h.Runs, si)
+	for i := lo; i < hi; i++ {
+		opts := base
+		opts.Seed = h.Seed + uint64(i)
+		f.Fold(r.RunStats(opts))
+		r.noteRun()
+		if onRun != nil {
+			onRun()
+		}
+	}
+}
 
 // SweepStream folds one condition's runs into shard accumulators and
 // merges the shards in index order. Workers fold their seed range
 // sequentially and release each Result immediately, so memory stays flat
-// no matter how large h.Runs grows.
+// no matter how large h.Runs grows. When a ShardExecutor is installed
+// (SetShardExecutor), each shard is offered to it first — the process
+// fabric computes it in a worker process — and any declined shard falls
+// back to the in-process fold; either way the merge below consumes
+// shards strictly in index order, so the result is bit-identical.
 func (r *Runner) SweepStream(h Harness, base Options, newShard func() Folder) Folder {
 	r.beginSweep(h.Runs)
 	if h.Runs <= 0 {
 		return newShard()
 	}
-	shards := (h.Runs + sweepShardSize - 1) / sweepShardSize
+	shards := ShardCount(h.Runs)
 	out := make([]Folder, shards)
+	ex := r.shardExecutor()
 	fill := func(si int) {
+		if ex != nil {
+			if f := ex.ExecuteShard(h, base, si, newShard); f != nil {
+				out[si] = f
+				return
+			}
+		}
 		f := newShard()
-		lo := si * sweepShardSize
-		hi := lo + sweepShardSize
-		if hi > h.Runs {
-			hi = h.Runs
-		}
-		for i := lo; i < hi; i++ {
-			opts := base
-			opts.Seed = h.Seed + uint64(i)
-			f.Fold(r.RunStats(opts))
-			r.noteRun()
-		}
+		r.FillShard(h, base, si, f, nil)
 		out[si] = f
 	}
-	if shards == 1 || r.parallel <= 1 {
+	// Dispatch width: the runner's own pool, widened to the executor's
+	// worker-process count when one is installed — a dispatch goroutine
+	// for a remote shard just waits on a pipe, so the in-process
+	// GOMAXPROCS bound would strand worker processes idle. The executor's
+	// own slot pool still bounds actual remote compute.
+	width := r.parallel
+	if wp, ok := ex.(interface{ Workers() int }); ok && wp.Workers() > width {
+		width = wp.Workers()
+	}
+	if shards == 1 || width <= 1 {
 		for si := range out {
 			fill(si)
 		}
 	} else {
+		sem := r.sem
+		if width > r.parallel {
+			sem = make(chan struct{}, width)
+		}
 		var wg sync.WaitGroup
 		for si := range out {
 			wg.Add(1)
 			go func(si int) {
 				defer wg.Done()
-				r.sem <- struct{}{}
-				defer func() { <-r.sem }()
+				sem <- struct{}{}
+				defer func() { <-sem }()
 				fill(si)
 			}(si)
 		}

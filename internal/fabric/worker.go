@@ -1,0 +1,98 @@
+// The worker side of the fabric: a hidden re-exec mode of the current
+// binary (`spdysim -fabric-worker`, or a test binary under an env
+// gate). A worker reads job frames from stdin, folds the assigned shard
+// with exactly the in-process engine's FillShard, and streams progress
+// and the encoded shard aggregate back on stdout. The loop is
+// deterministic and wallclock-clean — it never reads real time — so a
+// shard computed here is bit-identical to one computed in-process;
+// only the coordinator touches deadlines.
+package fabric
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"spdier/internal/experiment"
+)
+
+// WorkerMain runs the worker loop until stdin closes (the coordinator
+// exiting or discarding the worker) or a shutdown frame arrives, and
+// returns the process exit code. Job failures are reported as error
+// frames, not exits: a worker only dies on a protocol breakdown, which
+// the coordinator answers with a respawn.
+func WorkerMain(in io.Reader, out io.Writer) int {
+	br := bufio.NewReader(in)
+	bw := bufio.NewWriter(out)
+	for {
+		fr, err := readFrame(br)
+		if err == io.EOF {
+			return 0
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fabric worker: %v\n", err)
+			return 1
+		}
+		switch fr.typ {
+		case msgShutdown:
+			return 0
+		case msgJob:
+			var job jobSpec
+			if err := json.Unmarshal(fr.payload, &job); err != nil {
+				fmt.Fprintf(os.Stderr, "fabric worker: bad job payload: %v\n", err)
+				return 1
+			}
+			if err := runJob(bw, job); err != nil {
+				payload, _ := json.Marshal(errorMsg{Msg: err.Error()})
+				if werr := writeFrame(bw, msgError, payload); werr != nil {
+					return 1
+				}
+				if bw.Flush() != nil {
+					return 1
+				}
+			}
+		default:
+			// Unknown frame types from a newer coordinator are skipped so
+			// version skew degrades to per-shard errors, not worker death.
+		}
+	}
+}
+
+// runJob folds one shard and streams the result frame. A progress frame
+// follows every folded run; the coordinator uses them both for -progress
+// aggregation and as the liveness signal its no-progress deadline
+// watches.
+func runJob(bw *bufio.Writer, job jobSpec) error {
+	f, ok := experiment.NewFolder(job.Folder)
+	if !ok {
+		return fmt.Errorf("folder %q not registered in this binary", job.Folder)
+	}
+	if shards := experiment.ShardCount(job.Runs); job.Shard < 0 || job.Shard >= shards {
+		return fmt.Errorf("shard %d out of range (sweep has %d)", job.Shard, shards)
+	}
+	// Parallelism 1: worker processes are the fan-out; inside one shard
+	// the fold order must stay the serial seed order.
+	r := experiment.NewRunner(1)
+	h := experiment.Harness{Runs: job.Runs, Seed: job.Seed}
+	progress, _ := json.Marshal(progressMsg{Runs: 1})
+	r.FillShard(h, job.Opts, job.Shard, f, func() {
+		// Write errors surface at the final flush; the fold itself must
+		// not be interrupted mid-shard.
+		_ = writeFrame(bw, msgProgress, progress)
+		_ = bw.Flush()
+	})
+	agg, err := experiment.EncodeFolder(f)
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(shardResult{Shard: job.Shard, Fingerprint: job.Fingerprint, Agg: agg})
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(bw, msgResult, payload); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,219 @@
+// Stable binary encodings for the mergeable accumulators. The sweep
+// fabric streams shard accumulator state between worker processes and
+// journals it into on-disk checkpoints, so the encodings must be
+// bit-exact (floats travel as their IEEE-754 bit patterns, never
+// through text) and versioned (a journal written by one build must
+// either decode identically or fail loudly under another).
+//
+// Every type encodes as: one version byte, then the fields in a fixed
+// little-endian order. Decoding verifies the version and the exact
+// payload length, so truncated or concatenated state cannot alias.
+package stats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encoding versions. Bump when a field is added or its meaning changes;
+// decoders reject unknown versions rather than guessing.
+const (
+	momentsEncVersion byte = 1
+	sketchEncVersion  byte = 1
+	histEncVersion    byte = 1
+)
+
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// byteReader consumes a decode buffer with sticky underflow detection.
+type byteReader struct {
+	b   []byte
+	bad bool
+}
+
+func (r *byteReader) take(n int) []byte {
+	if r.bad || len(r.b) < n {
+		r.bad = true
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *byteReader) u8() byte {
+	if b := r.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (r *byteReader) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *byteReader) u64() uint64 {
+	if b := r.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (r *byteReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// done reports a clean decode: no underflow and no trailing bytes.
+func (r *byteReader) done() bool { return !r.bad && len(r.b) == 0 }
+
+// MarshalBinary encodes the accumulator bit-exactly.
+func (m *Moments) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 1+3*8)
+	out = append(out, momentsEncVersion)
+	out = appendU64(out, m.n)
+	out = appendF64(out, m.mean)
+	out = appendF64(out, m.m2)
+	return out, nil
+}
+
+// UnmarshalBinary replaces the accumulator with the encoded state.
+func (m *Moments) UnmarshalBinary(data []byte) error {
+	r := &byteReader{b: data}
+	if v := r.u8(); v != momentsEncVersion {
+		return fmt.Errorf("stats: Moments encoding version %d, want %d", v, momentsEncVersion)
+	}
+	n := r.u64()
+	mean := r.f64()
+	m2 := r.f64()
+	if !r.done() {
+		return fmt.Errorf("stats: malformed Moments encoding (%d bytes)", len(data))
+	}
+	m.n, m.mean, m.m2 = n, mean, m2
+	return nil
+}
+
+// Sketch mode discriminants in the encoded form.
+const (
+	sketchModeExact  byte = 0
+	sketchModeBinned byte = 1
+)
+
+// MarshalBinary encodes the sketch bit-exactly, preserving whether it is
+// still in the exact (raw-sample) mode.
+func (s *QuantileSketch) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 64+8*len(s.exact)+8*len(s.bins))
+	out = append(out, sketchEncVersion)
+	mode := sketchModeExact
+	if s.bins != nil {
+		mode = sketchModeBinned
+	}
+	out = append(out, mode)
+	out = appendU64(out, s.n)
+	out = appendF64(out, s.min)
+	out = appendF64(out, s.max)
+	out = appendF64(out, s.lo)
+	out = appendF64(out, s.width)
+	out = appendU32(out, uint32(len(s.exact)))
+	for _, x := range s.exact {
+		out = appendF64(out, x)
+	}
+	out = appendU32(out, uint32(len(s.bins)))
+	for _, c := range s.bins {
+		out = appendU64(out, c)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary replaces the sketch with the encoded state.
+func (s *QuantileSketch) UnmarshalBinary(data []byte) error {
+	r := &byteReader{b: data}
+	if v := r.u8(); v != sketchEncVersion {
+		return fmt.Errorf("stats: QuantileSketch encoding version %d, want %d", v, sketchEncVersion)
+	}
+	mode := r.u8()
+	if mode != sketchModeExact && mode != sketchModeBinned {
+		return fmt.Errorf("stats: QuantileSketch encoding has unknown mode %d", mode)
+	}
+	n := r.u64()
+	min, max := r.f64(), r.f64()
+	lo, width := r.f64(), r.f64()
+	nExact := int(r.u32())
+	if r.bad || nExact > len(r.b)/8 {
+		return fmt.Errorf("stats: malformed QuantileSketch encoding (%d bytes)", len(data))
+	}
+	var exact []float64
+	if nExact > 0 {
+		exact = make([]float64, nExact)
+		for i := range exact {
+			exact[i] = r.f64()
+		}
+	}
+	nBins := int(r.u32())
+	if r.bad || nBins > len(r.b)/8 {
+		return fmt.Errorf("stats: malformed QuantileSketch encoding (%d bytes)", len(data))
+	}
+	var bins []uint64
+	if nBins > 0 || mode == sketchModeBinned {
+		bins = make([]uint64, nBins)
+		for i := range bins {
+			bins[i] = r.u64()
+		}
+	}
+	if !r.done() {
+		return fmt.Errorf("stats: malformed QuantileSketch encoding (%d bytes)", len(data))
+	}
+	if mode == sketchModeExact && bins != nil {
+		return fmt.Errorf("stats: QuantileSketch encoding mixes exact mode with bins")
+	}
+	s.n = n
+	s.min, s.max = min, max
+	s.lo, s.width = lo, width
+	s.exact = exact
+	s.bins = bins
+	return nil
+}
+
+// MarshalBinary encodes the histogram bit-exactly.
+func (h *Hist) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 32+8*len(h.bins))
+	out = append(out, histEncVersion)
+	out = appendF64(out, h.width)
+	out = appendU64(out, h.n)
+	out = appendU32(out, uint32(len(h.bins)))
+	for _, c := range h.bins {
+		out = appendU64(out, c)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary replaces the histogram with the encoded state.
+func (h *Hist) UnmarshalBinary(data []byte) error {
+	r := &byteReader{b: data}
+	if v := r.u8(); v != histEncVersion {
+		return fmt.Errorf("stats: Hist encoding version %d, want %d", v, histEncVersion)
+	}
+	width := r.f64()
+	n := r.u64()
+	nBins := int(r.u32())
+	if r.bad || nBins > len(r.b)/8 {
+		return fmt.Errorf("stats: malformed Hist encoding (%d bytes)", len(data))
+	}
+	var bins []uint64
+	if nBins > 0 {
+		bins = make([]uint64, nBins)
+		for i := range bins {
+			bins[i] = r.u64()
+		}
+	}
+	if !r.done() {
+		return fmt.Errorf("stats: malformed Hist encoding (%d bytes)", len(data))
+	}
+	h.width, h.n, h.bins = width, n, bins
+	return nil
+}

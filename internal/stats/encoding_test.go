@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// rng is a tiny deterministic generator for encoding tests (the package
+// must not touch math/rand's global state).
+type encRNG uint64
+
+func (r *encRNG) next() float64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return float64(uint32(*r>>33)) / float64(1<<32)
+}
+
+// TestMomentsEncodingRoundTrip: decode(encode(m)) must reproduce the
+// accumulator bit for bit, including the zero value.
+func TestMomentsEncodingRoundTrip(t *testing.T) {
+	r := encRNG(7)
+	for _, n := range []int{0, 1, 2, 100} {
+		var m Moments
+		for i := 0; i < n; i++ {
+			m.Add(r.next() * 50)
+		}
+		data, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("n=%d: marshal: %v", n, err)
+		}
+		var got Moments
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("n=%d: unmarshal: %v", n, err)
+		}
+		if !reflect.DeepEqual(&got, &m) {
+			t.Fatalf("n=%d: round trip differs:\n got %+v\nwant %+v", n, got, m)
+		}
+	}
+}
+
+// TestQuantileSketchEncodingRoundTrip covers both the exact and the
+// collapsed (binned) modes, which must survive the trip unchanged —
+// including the exact-mode raw samples in insertion order.
+func TestQuantileSketchEncodingRoundTrip(t *testing.T) {
+	r := encRNG(13)
+	for _, n := range []int{0, 1, 500, sketchExactMax + 100} {
+		s := NewQuantileSketch()
+		for i := 0; i < n; i++ {
+			s.Add(r.next() * 30)
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("n=%d: marshal: %v", n, err)
+		}
+		got := NewQuantileSketch()
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("n=%d: unmarshal: %v", n, err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("n=%d: round trip differs", n)
+		}
+		if got.Exact() != s.Exact() {
+			t.Fatalf("n=%d: mode flipped across the trip", n)
+		}
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if a, b := got.Quantile(q), s.Quantile(q); a != b {
+				t.Fatalf("n=%d: Quantile(%g) = %v after trip, want %v", n, q, a, b)
+			}
+		}
+	}
+}
+
+// TestHistEncodingRoundTrip: histograms round-trip bit-exactly.
+func TestHistEncodingRoundTrip(t *testing.T) {
+	r := encRNG(99)
+	for _, n := range []int{0, 1, 300} {
+		h := NewHist(0.5)
+		for i := 0; i < n; i++ {
+			h.Add(r.next() * 20)
+		}
+		data, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatalf("n=%d: marshal: %v", n, err)
+		}
+		got := NewHist(0.5)
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("n=%d: unmarshal: %v", n, err)
+		}
+		if !reflect.DeepEqual(got, h) {
+			t.Fatalf("n=%d: round trip differs:\n got %+v\nwant %+v", n, got, h)
+		}
+	}
+}
+
+// TestEncodingRejectsDamage: version bumps, truncation and trailing
+// garbage must all fail loudly, never decode to a plausible state.
+func TestEncodingRejectsDamage(t *testing.T) {
+	var m Moments
+	m.Add(1)
+	m.Add(2)
+	data, _ := m.MarshalBinary()
+
+	bad := append([]byte(nil), data...)
+	bad[0] = 99
+	if err := new(Moments).UnmarshalBinary(bad); err == nil {
+		t.Fatal("unknown Moments version decoded without error")
+	}
+	if err := new(Moments).UnmarshalBinary(data[:len(data)-3]); err == nil {
+		t.Fatal("truncated Moments decoded without error")
+	}
+	if err := new(Moments).UnmarshalBinary(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Fatal("oversized Moments decoded without error")
+	}
+
+	s := NewQuantileSketch()
+	s.Add(3)
+	sdata, _ := s.MarshalBinary()
+	if err := NewQuantileSketch().UnmarshalBinary(sdata[:len(sdata)-1]); err == nil {
+		t.Fatal("truncated QuantileSketch decoded without error")
+	}
+	bad = append([]byte(nil), sdata...)
+	bad[1] = 7 // unknown mode
+	if err := NewQuantileSketch().UnmarshalBinary(bad); err == nil {
+		t.Fatal("unknown QuantileSketch mode decoded without error")
+	}
+
+	h := NewHist(1)
+	h.Add(2)
+	hdata, _ := h.MarshalBinary()
+	if err := NewHist(1).UnmarshalBinary(hdata[:len(hdata)-2]); err == nil {
+		t.Fatal("truncated Hist decoded without error")
+	}
+}
+
+// TestEncodedMergeMatchesDirect: the fabric's core property in
+// miniature — folding a shard remotely, encoding, decoding and merging
+// must equal merging the original accumulator directly.
+func TestEncodedMergeMatchesDirect(t *testing.T) {
+	r := encRNG(5)
+	var a1, a2, b Moments
+	s1, s2 := NewQuantileSketch(), NewQuantileSketch()
+	h1, h2 := NewHist(1), NewHist(1)
+	for i := 0; i < 400; i++ {
+		x := r.next() * 10
+		a1.Add(x)
+		a2.Add(x)
+		s1.Add(x)
+		s2.Add(x)
+		h1.Add(x)
+		h2.Add(x)
+	}
+	for i := 0; i < 300; i++ {
+		b.Add(r.next() * 10)
+	}
+
+	// Direct merge.
+	direct := a1
+	direct.Merge(&b)
+
+	// Remote merge: b travels through the encoding.
+	data, _ := b.MarshalBinary()
+	var remote Moments
+	if err := remote.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	viaWire := a2
+	viaWire.Merge(&remote)
+	if !reflect.DeepEqual(&viaWire, &direct) {
+		t.Fatalf("merge through encoding differs:\n got %+v\nwant %+v", viaWire, direct)
+	}
+
+	// Same for the sketch: s2's copy travels the wire, then merges into
+	// a third accumulator; compare against merging s1 directly.
+	t1, t2 := NewQuantileSketch(), NewQuantileSketch()
+	t1.Merge(s1)
+	sdata, _ := s2.MarshalBinary()
+	sRemote := NewQuantileSketch()
+	if err := sRemote.UnmarshalBinary(sdata); err != nil {
+		t.Fatal(err)
+	}
+	t2.Merge(sRemote)
+	if !reflect.DeepEqual(t2, t1) {
+		t.Fatal("sketch merge through encoding differs from direct merge")
+	}
+
+	hdata, _ := h2.MarshalBinary()
+	hRemote := NewHist(1)
+	if err := hRemote.UnmarshalBinary(hdata); err != nil {
+		t.Fatal(err)
+	}
+	u1, u2 := NewHist(1), NewHist(1)
+	u1.Merge(h1)
+	u2.Merge(hRemote)
+	if !reflect.DeepEqual(u2, u1) {
+		t.Fatal("hist merge through encoding differs from direct merge")
+	}
+}

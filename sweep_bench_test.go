@@ -11,6 +11,7 @@ package spdier_test
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"os"
 	"reflect"
 	"runtime"
@@ -20,6 +21,7 @@ import (
 
 	"spdier/internal/browser"
 	"spdier/internal/experiment"
+	"spdier/internal/fabric"
 	"spdier/internal/stats"
 	"spdier/internal/webpage"
 )
@@ -138,4 +140,71 @@ func BenchmarkSweep(b *testing.B) {
 			b.Fatalf("sweep throughput regressed >20%%: %.1f runs/s vs baseline %.1f", runsPerSec, want)
 		}
 	}
+}
+
+// BenchmarkSweepFabric drives the same streaming sweep through the
+// multi-process fabric at 1, 2 and 4 worker processes (re-execs of this
+// test binary), asserting the merged accumulator state stays
+// bit-identical to the in-process engine at every width before timing,
+// and records runs/sec per width in BENCH_sweep.json so CI tracks the
+// fabric's scaling curve next to the single-process trend line.
+//
+//	go test -run '^$' -bench '^BenchmarkSweepFabric$' -benchtime=1x .
+func BenchmarkSweepFabric(b *testing.B) {
+	const sweepRuns = 64 // 4 shards: enough to occupy the widest pool
+	sites := webpage.Table1()[:6]
+	h := experiment.Harness{Runs: sweepRuns, Seed: 1}
+	base := experiment.Options{Mode: browser.ModeHTTP, Network: experiment.NetWiFi, Sites: sites}
+	newShard := func() experiment.Folder {
+		f, ok := experiment.NewFolder("plt")
+		if !ok {
+			b.Fatal(`folder "plt" not registered`)
+		}
+		return f
+	}
+	want := experiment.NewRunner(1).SweepStream(h, base, newShard)
+	exe, err := os.Executable()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	metrics := map[string]float64{"sweep_runs": sweepRuns}
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			coord, err := fabric.NewCoordinator(fabric.Config{
+				Workers:   workers,
+				WorkerCmd: []string{exe},
+				WorkerEnv: []string{"SPDYSIM_FABRIC_WORKER=1"},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer coord.Close()
+
+			// Untimed warm-up: spawns the worker pool and asserts the
+			// fabric's merge contract at this width.
+			r := experiment.NewRunner(0)
+			r.SetShardExecutor(coord)
+			got := r.SweepStream(h, base, newShard)
+			if !reflect.DeepEqual(got, want) {
+				b.Fatalf("fabric state at %d workers differs from in-process:\n got %+v\nwant %+v", workers, got, want)
+			}
+			if coord.Stats().ShardsRemote == 0 {
+				b.Fatal("no shards went to worker processes; fabric silently fell back in-process")
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := experiment.NewRunner(0)
+				r.SetShardExecutor(coord)
+				r.SweepStream(h, base, newShard)
+			}
+			b.StopTimer()
+			rps := float64(sweepRuns*b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(rps, "runs/s")
+			metrics[fmt.Sprintf("workers_%d_runs_per_sec", workers)] = rps
+		})
+	}
+	reportSweep("BenchmarkSweepFabric", metrics)
 }
