@@ -55,7 +55,7 @@ func main() {
 		progress = flag.Bool("progress", false, "print a live progress/ETA line for long sweeps to stderr")
 		list     = flag.Bool("list", false, "list experiments")
 		har      = flag.String("har", "", "run one session and write its page loads as a HAR archive to this file")
-		mode     = flag.String("mode", "spdy", "protocol for -har runs: http or spdy")
+		mode     = flag.String("mode", "spdy", "protocol for -har runs: http, spdy, h2 or quic")
 		network  = flag.String("network", "3g", "access network for -har runs: 3g, lte or wifi")
 
 		fabricN = flag.Int("fabric", 0,
@@ -137,9 +137,9 @@ func main() {
 			os.Exit(2)
 		}
 		switch *mode {
-		case "http", "spdy":
+		case "http", "spdy", "h2", "quic":
 		default:
-			fmt.Fprintf(os.Stderr, "unknown mode %q: use http or spdy\n", *mode)
+			fmt.Fprintf(os.Stderr, "unknown mode %q: use http, spdy, h2 or quic\n", *mode)
 			os.Exit(2)
 		}
 		res := experiment.Run(experiment.Options{

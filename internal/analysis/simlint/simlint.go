@@ -49,6 +49,8 @@ var DeterministicPackages = []string{
 	"spdier/internal/webpage",
 	"spdier/internal/experiment",
 	"spdier/internal/stats",
+	"spdier/internal/transport",
+	"spdier/internal/h2",
 }
 
 // pooledPackages additionally run the pool-discipline check: they own

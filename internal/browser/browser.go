@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"spdier/internal/h2"
 	"spdier/internal/proxy"
 	"spdier/internal/sim"
 	"spdier/internal/spdy"
@@ -27,6 +28,12 @@ type Mode string
 const (
 	ModeHTTP Mode = "http"
 	ModeSPDY Mode = "spdy"
+	// ModeH2 is HTTP/2-like framing over one TCP connection: HPACK-sized
+	// headers and credit-based per-stream flow control.
+	ModeH2 Mode = "h2"
+	// ModeQUIC rides the QUIC-style transport: per-stream loss
+	// isolation, connection-level recovery, optional 0-RTT resumption.
+	ModeQUIC Mode = "quic"
 )
 
 // Config holds browser behaviour knobs.
@@ -71,6 +78,16 @@ type Config struct {
 	// analytics, refreshes) that §5.7 identifies as a trigger of
 	// idle/active cycling during the user's think time.
 	Beacons bool
+
+	// H2EqualFraming makes the h2 mode price frames exactly as SPDY does
+	// (shared zlib oracle, 8-byte DATA overhead) with never-binding
+	// windows — the differential-oracle configuration under which h2 and
+	// SPDY byte streams, and therefore PLTs, are identical.
+	H2EqualFraming bool
+
+	// QUICZeroRTT lets QUIC connections resume with 0-RTT when the
+	// client's metrics cache knows the destination.
+	QUICZeroRTT bool
 }
 
 // DefaultConfig returns the Chrome-like defaults for a mode.
@@ -88,9 +105,14 @@ func DefaultConfig(mode Mode) Config {
 		PageTimeout:       55 * time.Second,
 		Beacons:           true,
 	}
-	if mode == ModeSPDY {
+	if mode == ModeSPDY || mode == ModeH2 {
 		cfg.ClientTCP.TLS = true
 		cfg.ProxyTCP.TLS = true
+	}
+	if mode == ModeQUIC {
+		// QUIC's crypto rides the transport handshake itself; the TCP TLS
+		// surcharge does not apply. Resumption is on by default.
+		cfg.QUICZeroRTT = true
 	}
 	return cfg
 }
@@ -115,9 +137,14 @@ type Browser struct {
 	group    *proxy.SPDYGroup
 	reqSeq   int
 
+	// h2 and QUIC state: one session each, created on first use.
+	h2sess   *h2Handle
+	quicSess *quicHandle
+
 	// All proxy-side endpoints ever created, for fleet-wide metrics
 	// (bytes in flight, concurrent connection counts).
 	proxyConns []*tcpsim.Conn
+	proxyQUIC  []*tcpsim.QUICConn
 
 	cur *pageLoad
 }
@@ -137,6 +164,18 @@ func New(loop *sim.Loop, net *tcpsim.Network, prox *proxy.Proxy, cfg Config, rng
 // ProxyConns returns every proxy-side TCP endpoint created so far.
 func (b *Browser) ProxyConns() []*tcpsim.Conn { return b.proxyConns }
 
+// ProxyQUICConns returns every proxy-side QUIC endpoint created so far.
+func (b *Browser) ProxyQUICConns() []*tcpsim.QUICConn { return b.proxyQUIC }
+
+// H2Session returns the h2 proxy session, if the browser has opened one
+// (for flow-conservation audits).
+func (b *Browser) H2Session() *proxy.H2Session {
+	if b.h2sess == nil {
+		return nil
+	}
+	return b.h2sess.sess
+}
+
 // ActiveConns counts currently established HTTP connections plus SPDY
 // sessions (the paper's "42.6 concurrent TCP connections" statistic).
 func (b *Browser) ActiveConns() int {
@@ -152,6 +191,12 @@ func (b *Browser) ActiveConns() int {
 		if s.established {
 			n++
 		}
+	}
+	if b.h2sess != nil && b.h2sess.established {
+		n++
+	}
+	if b.quicSess != nil && b.quicSess.established {
+		n++
 	}
 	return n
 }
@@ -196,9 +241,19 @@ func (b *Browser) discover(pl *pageLoad, obj *webpage.Object) {
 	pl.rec.Objects = append(pl.rec.Objects, or)
 	pl.outstanding++
 	onDone := func() { b.objectDone(pl, obj, or) }
-	if b.cfg.Mode == ModeSPDY {
+	b.request(obj, or, onDone)
+}
+
+// request dispatches one object fetch to the mode's protocol machinery.
+func (b *Browser) request(obj *webpage.Object, or *trace.ObjectRecord, onDone func()) {
+	switch b.cfg.Mode {
+	case ModeSPDY:
 		b.requestSPDY(obj, or, onDone)
-	} else {
+	case ModeH2:
+		b.requestH2(obj, or, onDone)
+	case ModeQUIC:
+		b.requestQUIC(obj, or, onDone)
+	default:
 		b.requestHTTP(obj, or, onDone)
 	}
 }
@@ -254,11 +309,7 @@ func (b *Browser) scheduleBeacons(page *webpage.Page) {
 		}
 		b.loop.At(at, func() {
 			or := &trace.ObjectRecord{Obj: beacon, Discovered: b.loop.Now()}
-			if b.cfg.Mode == ModeSPDY {
-				b.requestSPDY(beacon, or, func() {})
-			} else {
-				b.requestHTTP(beacon, or, func() {})
-			}
+			b.request(beacon, or, func() {})
 		})
 	}
 }
@@ -547,4 +598,224 @@ func (b *Browser) sendSPDY(s *spdyHandle, req *pendingReq) {
 		s.sess.ExpectRequest(req.obj, size, prio, hooks)
 	}
 	s.client.Write(size)
+}
+
+// --- HTTP/2 mode ---
+
+// userAgent is the Chrome 23 UA string every protocol mode sends.
+const userAgent = "Mozilla/5.0 (Windows NT 6.1) Chrome/23.0"
+
+type h2Handle struct {
+	id          string
+	client      *tcpsim.Conn
+	asm         *tcpsim.StreamAssembler
+	sess        *proxy.H2Session
+	reqSizer    *h2.HeaderSizer  // HPACK request pricing
+	reqOracle   *spdy.SizeOracle // equal-framing mode: SPDY-identical requests
+	established bool
+	streamSeq   uint32
+	backlog     []*pendingReq
+
+	// WINDOW_UPDATE bookkeeping: response bytes delivered client-side
+	// but not yet re-credited to the proxy. Lookup-only maps.
+	pendingStream map[uint32]int64
+	pendingConn   int64
+}
+
+func (b *Browser) requestH2(obj *webpage.Object, or *trace.ObjectRecord, onDone func()) {
+	if b.h2sess == nil {
+		b.h2sess = b.openH2()
+	}
+	h := b.h2sess
+	req := &pendingReq{obj: obj, or: or, onDone: onDone}
+	if !h.established {
+		h.backlog = append(h.backlog, req)
+		return
+	}
+	b.sendH2(h, req)
+}
+
+func (b *Browser) openH2() *h2Handle {
+	id := "h2s00"
+	client, server := b.net.NewConnPair(b.cfg.ClientTCP, b.cfg.ProxyTCP, id, "device")
+	asm := &tcpsim.StreamAssembler{}
+	client.OnDeliver(asm.Deliver)
+	h := &h2Handle{
+		id:            id,
+		client:        client,
+		asm:           asm,
+		pendingStream: make(map[uint32]int64),
+	}
+	if b.cfg.H2EqualFraming {
+		h.reqOracle = spdy.NewSizeOracle()
+	} else {
+		h.reqSizer = h2.NewHeaderSizer()
+	}
+	h.sess = proxy.NewH2Session(b.prox, server, asm, b.cfg.H2EqualFraming)
+	if h.sess.NeedsWindowUpdates() {
+		h.sess.OnClientChunk(func(sid uint32, payload int) { b.h2Consumed(h, sid, payload) })
+	}
+	b.proxyConns = append(b.proxyConns, server)
+	client.OnEstablished(func() {
+		h.established = true
+		backlog := h.backlog
+		h.backlog = nil
+		for _, req := range backlog {
+			b.sendH2(h, req)
+		}
+	})
+	client.Connect()
+	return h
+}
+
+func (b *Browser) sendH2(h *h2Handle, req *pendingReq) {
+	req.or.Requested = b.loop.Now()
+	req.or.ConnID = h.id
+	prio := spdy.PriorityForType(string(req.obj.Kind))
+	var size int
+	if h.reqOracle != nil {
+		// Equal-framing oracle mode: the request bytes must match SPDY's
+		// exactly, SYN_STREAM framing included.
+		h.streamSeq += 2
+		size = h.reqOracle.FrameSize(spdy.SynStream{
+			StreamID: h.streamSeq + 1,
+			Priority: prio,
+			Fin:      true,
+			Headers: spdy.RequestHeaders("GET", "http", req.obj.Domain, req.obj.Path,
+				userAgent),
+		})
+	} else {
+		size = h.reqSizer.RequestSize("GET", "http", req.obj.Domain, req.obj.Path, userAgent)
+	}
+	or := req.or
+	onDone := req.onDone
+	hooks := proxy.ResponseHooks{
+		OnFirstByte: func() { or.FirstByte = b.loop.Now() },
+		OnDone: func() {
+			or.Done = b.loop.Now()
+			onDone()
+		},
+	}
+	h.sess.ExpectRequest(req.obj, size, prio, hooks)
+	h.client.Write(size)
+}
+
+// h2Consumed drives WINDOW_UPDATE generation: once half a stream's (or
+// the connection's) window worth of DATA has landed, the browser
+// re-credits the proxy with exactly the delivered bytes — the
+// conservation the fuzz target and end-of-run audit check.
+func (b *Browser) h2Consumed(h *h2Handle, sid uint32, n int) {
+	h.pendingStream[sid] += int64(n)
+	h.pendingConn += int64(n)
+	if p := h.pendingStream[sid]; p >= h2.DefaultInitialWindow/2 {
+		h.pendingStream[sid] = 0
+		h.sess.ExpectWindowUpdate(sid, p, false)
+		h.client.Write(h2.WindowUpdateFrameSize)
+	}
+	if p := h.pendingConn; p >= proxy.H2ConnWindow/2 {
+		h.pendingConn = 0
+		h.sess.ExpectWindowUpdate(0, p, true)
+		h.client.Write(h2.WindowUpdateFrameSize)
+	}
+}
+
+// --- QUIC mode ---
+
+type quicHandle struct {
+	id          string
+	client      *tcpsim.QUICConn
+	streams     *proxy.QUICClientStreams
+	sess        *proxy.QUICSession
+	sizer       *h2.HeaderSizer
+	established bool
+	backlog     []*pendingReq
+	outstanding int
+	idleTimer   sim.Timer
+	closed      bool
+}
+
+func (b *Browser) requestQUIC(obj *webpage.Object, or *trace.ObjectRecord, onDone func()) {
+	if b.quicSess == nil {
+		b.quicSess = b.openQUIC()
+	}
+	q := b.quicSess
+	q.outstanding++
+	q.idleTimer.Stop()
+	req := &pendingReq{obj: obj, or: or, onDone: onDone}
+	if !q.established {
+		q.backlog = append(q.backlog, req)
+		return
+	}
+	b.sendQUIC(q, req)
+}
+
+// armQUICIdle closes the QUIC connection after the browser's idle
+// timeout, flushing transport metrics to the shared cache. The next
+// page then opens a fresh connection that — with QUICZeroRTT — resumes
+// without a handshake round trip: the transfer rides the very radio
+// promotion the handshake used to wait out.
+func (b *Browser) armQUICIdle(q *quicHandle) {
+	q.idleTimer.Stop()
+	q.idleTimer = b.loop.After(b.cfg.IdleConnTimeout, func() {
+		if q.outstanding > 0 || q.closed {
+			return
+		}
+		q.closed = true
+		q.client.Close()
+		q.sess.Conn().Close()
+		if b.quicSess == q {
+			b.quicSess = nil
+		}
+	})
+}
+
+func (b *Browser) openQUIC() *quicHandle {
+	id := "quic00"
+	ccfg := b.cfg.ClientTCP
+	ccfg.ZeroRTT = b.cfg.QUICZeroRTT
+	client, server := b.net.NewQUICPair(ccfg, b.cfg.ProxyTCP, id, "device")
+	streams := proxy.NewQUICClientStreams()
+	client.OnStreamDeliver(streams.Deliver)
+	q := &quicHandle{
+		id:      id,
+		client:  client,
+		streams: streams,
+		sizer:   h2.NewHeaderSizer(),
+	}
+	q.sess = proxy.NewQUICSession(b.prox, server, streams)
+	b.proxyQUIC = append(b.proxyQUIC, server)
+	client.OnEstablished(func() {
+		q.established = true
+		backlog := q.backlog
+		q.backlog = nil
+		for _, req := range backlog {
+			b.sendQUIC(q, req)
+		}
+	})
+	client.Connect()
+	return q
+}
+
+func (b *Browser) sendQUIC(q *quicHandle, req *pendingReq) {
+	req.or.Requested = b.loop.Now()
+	req.or.ConnID = q.id
+	prio := spdy.PriorityForType(string(req.obj.Kind))
+	// Each request/response pair rides its own transport stream.
+	sid := uint32(req.obj.ID*2 + 1)
+	size := q.sizer.RequestSize("GET", "http", req.obj.Domain, req.obj.Path, userAgent)
+	or := req.or
+	onDone := req.onDone
+	hooks := proxy.ResponseHooks{
+		OnFirstByte: func() { or.FirstByte = b.loop.Now() },
+		OnDone: func() {
+			or.Done = b.loop.Now()
+			q.outstanding--
+			if q.outstanding == 0 {
+				b.armQUICIdle(q)
+			}
+			onDone()
+		},
+	}
+	q.sess.ExpectRequest(req.obj, sid, size, prio, hooks)
+	q.client.WriteStream(sid, size)
 }

@@ -34,6 +34,9 @@ func CacheKey(opts Options) (key string, ok bool) {
 	// Loss-recovery fix arms change the simulation; configs that differ
 	// only in an arm must never alias.
 	fmt.Fprintf(&b, "|tlp=%t|rack=%t|frto=%t", o.TLP, o.RACK, o.FRTO)
+	// Protocol-arm knobs (h2 equal-framing oracle mode, QUIC 0-RTT
+	// ablation) likewise change the simulation.
+	fmt.Fprintf(&b, "|h2eq=%t|q0off=%t", o.H2EqualFraming, o.QUICNo0RTT)
 	// PromotionScale 1 and 0 both mean "unscaled"; canonicalize so they
 	// share a key, as they share a simulation.
 	promo := o.PromotionScale

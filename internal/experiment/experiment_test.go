@@ -16,7 +16,7 @@ func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"rttreset", "metricscache", "multiconn", "pipelining", "latebinding",
-		"scale", "validate", "recovery",
+		"scale", "validate", "recovery", "protocols",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {

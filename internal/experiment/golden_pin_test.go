@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenPins are the SHA-256 digests of the golden reports as they
+// stood before the composable-transport refactor landed. The layering
+// tests prove the composed stack equals the old monolith run by run;
+// this test proves nobody quietly re-blessed the files instead. A pin
+// only moves when a change is *meant* to alter paper-era output, and
+// moving it is a deliberate, reviewable act — `-update` alone cannot.
+//
+// protocols.golden is deliberately unpinned: it is the new experiment's
+// own golden, born with the refactor, and TestGoldenReports already
+// locks its bytes.
+var goldenPins = map[string]string{
+	"fig3.golden":     "b3e4692806ec1828da3c33791e8be4ab666263f9eb374c3e714e38d227a07d66",
+	"table2.golden":   "c4a55ebed879f65c6cc369bca65a2136dd5dd01bc507f850bffac01fc2804ac0",
+	"recovery.golden": "def5f27fe9f69e50bb256d6626829ce3ee05a71a3ef8adc04271e653d383636b",
+}
+
+// TestGoldenFilesPinned re-hashes the checked-in pre-refactor goldens.
+// It reads the files, not the experiments, so it stays green even while
+// TestGoldenReports is being re-blessed — catching exactly the case
+// where -update rewrote bytes it was not supposed to touch.
+func TestGoldenFilesPinned(t *testing.T) {
+	for name, want := range goldenPins {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != want {
+			t.Errorf("%s: sha256 %s, pinned %s — a pre-refactor golden moved; if that is intended, update the pin in the same change and say why",
+				name, got, want)
+		}
+	}
+}

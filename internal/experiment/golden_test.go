@@ -20,7 +20,7 @@ var updateGolden = flag.Bool("update", false, "rewrite golden experiment reports
 // ./internal/experiment/`.
 func TestGoldenReports(t *testing.T) {
 	h := Harness{Runs: 2, Seed: 1}
-	for _, id := range []string{"fig3", "table2", "recovery"} {
+	for _, id := range []string{"fig3", "table2", "recovery", "protocols"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			spec, ok := Get(id)

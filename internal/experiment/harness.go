@@ -17,6 +17,7 @@ import (
 	"spdier/internal/stats"
 	"spdier/internal/tcpsim"
 	"spdier/internal/trace"
+	"spdier/internal/transport"
 	"spdier/internal/webpage"
 )
 
@@ -86,6 +87,14 @@ type Options struct {
 	TLP  bool
 	RACK bool
 	FRTO bool
+
+	// H2EqualFraming makes the h2 mode price frames exactly as SPDY does
+	// with never-binding windows — the differential-oracle configuration
+	// under which h2 and SPDY runs are bit-identical. No-op outside h2.
+	H2EqualFraming bool
+	// QUICNo0RTT disables QUIC 0-RTT resumption (ablation of the §6.2.4
+	// "cache more aggressively" answer). No-op outside quic.
+	QUICNo0RTT bool
 
 	// Impair applies seeded wire impairments (Gilbert-Elliott bursty
 	// loss, reordering, duplication, extra jitter) to both directions of
@@ -329,17 +338,30 @@ func Run(opts Options) *Result {
 	prox := proxy.New(loop, origin)
 
 	bcfg := browser.DefaultConfig(opts.Mode)
-	bcfg.ProxyTCP.Probe = rec
-	bcfg.ProxyTCP.CC = opts.CC
-	bcfg.ProxyTCP.SlowStartAfterIdle = !opts.SlowStartAfterIdleOff
-	bcfg.ProxyTCP.ResetRTTAfterIdle = opts.ResetRTTAfterIdle
-	bcfg.ProxyTCP.DisableUndo = opts.DisableUndo
-	bcfg.ProxyTCP.TLP = opts.TLP
-	bcfg.ProxyTCP.RACK = opts.RACK
-	bcfg.ProxyTCP.FRTO = opts.FRTO
-	if !opts.NoMetricsCache {
-		bcfg.ProxyTCP.Metrics = tcpsim.NewMetricsCache()
+	// The proxy-side stack is composed from transport layers; the Spec
+	// produces a Config field-for-field identical to the direct
+	// assignments it replaced (pinned by transport's equivalence test and
+	// the layering tests here), so goldens cannot move.
+	spec := transport.Spec{
+		Kind:               transport.Kind(opts.Mode),
+		CC:                 opts.CC,
+		Recovery:           tcpsim.RecoveryPolicy{TLP: opts.TLP, RACK: opts.RACK, FRTO: opts.FRTO},
+		SlowStartAfterIdle: !opts.SlowStartAfterIdleOff,
+		ResetRTTAfterIdle:  opts.ResetRTTAfterIdle,
+		DisableUndo:        opts.DisableUndo,
+		Probe:              rec,
 	}
+	if !opts.NoMetricsCache {
+		spec.Metrics = tcpsim.NewMetricsCache()
+	}
+	bcfg.ProxyTCP = spec.Apply(bcfg.ProxyTCP)
+	if opts.Mode == browser.ModeQUIC {
+		// 0-RTT is the client's resumption decision: it needs the shared
+		// metrics cache (QUIC's session-ticket analogue) on its own side.
+		bcfg.QUICZeroRTT = !opts.QUICNo0RTT
+		bcfg.ClientTCP.Metrics = spec.Metrics
+	}
+	bcfg.H2EqualFraming = opts.H2EqualFraming
 	bcfg.SPDYSessions = opts.SPDYSessions
 	bcfg.SPDYLateBinding = opts.SPDYLateBinding
 	bcfg.Pipelining = opts.Pipelining
@@ -390,6 +412,9 @@ func Run(opts Options) *Result {
 	sampler = func() {
 		inflight := 0
 		for _, c := range br.ProxyConns() {
+			inflight += c.InFlightBytes()
+		}
+		for _, c := range br.ProxyQUICConns() {
 			inflight += c.InFlightBytes()
 		}
 		res.Samples = append(res.Samples, Sample{

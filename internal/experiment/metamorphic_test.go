@@ -1,11 +1,15 @@
 package experiment
 
 import (
+	"reflect"
+	"sync"
 	"testing"
 	"time"
 
 	"spdier/internal/browser"
 	"spdier/internal/netem"
+	"spdier/internal/sim"
+	"spdier/internal/tcpsim"
 	"spdier/internal/webpage"
 )
 
@@ -233,6 +237,310 @@ func TestFRTOEngagesAndRepairsPromotionDamage(t *testing.T) {
 		bm, fm := meanPLT(base), meanPLT(frto)
 		if fm > bm {
 			t.Errorf("%s: undoing spurious RTOs slowed pages down: %.3fs -> %.3fs", mode, bm, fm)
+		}
+	}
+}
+
+// Cross-protocol oracles: relations between the protocol arms the
+// composable transport refactor makes comparable. Each pins a claim the
+// protocols experiment's absolute numbers rest on.
+
+// TestH2EqualFramingMatchesSPDY is the differential half of the h2 arm:
+// with equal framing — SPDY's zlib header sizes, SPDY's 8-byte DATA
+// overhead, flow-control windows too large to ever bind — the h2 stack
+// is byte-for-byte the SPDY stack on the wire, so every page load time
+// must be bit-identical and every loss (the link drops bytes by
+// position, deterministically per seed) must land on the same segment.
+// Any divergence means the h2 session pump, priority order or request
+// pricing silently differs from SPDY's beyond the framing it claims is
+// the only difference.
+func TestH2EqualFramingMatchesSPDY(t *testing.T) {
+	cases := []struct {
+		name string
+		set  func(*Options)
+	}{
+		{"3g-noloss", func(o *Options) { o.Network = Net3G; o.NoLinkLoss = true }},
+		{"3g-loss", func(o *Options) { o.Network = Net3G }},
+		{"wifi-loss", func(o *Options) { o.Network = NetWiFi }},
+	}
+	for _, tc := range cases {
+		spdyOpts := Options{Mode: browser.ModeSPDY, Sites: metaSites(), Seed: 3}
+		tc.set(&spdyOpts)
+		h2Opts := spdyOpts
+		h2Opts.Mode = browser.ModeH2
+		h2Opts.H2EqualFraming = true
+		spdy, h2 := Run(spdyOpts), Run(h2Opts)
+
+		sp, hp := spdy.PLTSeconds(), h2.PLTSeconds()
+		if len(sp) != len(hp) {
+			t.Fatalf("%s: page counts %d vs %d", tc.name, len(sp), len(hp))
+		}
+		for i := range sp {
+			if sp[i] != hp[i] {
+				t.Errorf("%s page %d: spdy PLT %v, equal-framing h2 PLT %v", tc.name, i, sp[i], hp[i])
+			}
+		}
+		if sr, hr := spdy.Retransmissions(), h2.Retransmissions(); sr != hr {
+			t.Errorf("%s: retransmissions %d vs %d — losses fell on different bytes", tc.name, sr, hr)
+		}
+		if spdy.Incomplete != 0 || h2.Incomplete != 0 {
+			t.Errorf("%s: incomplete pages spdy=%d h2=%d", tc.name, spdy.Incomplete, h2.Incomplete)
+		}
+	}
+}
+
+// noHoLOutcome is one full execution of the no-HoL oracle: per-stream
+// completion times for clean and single-stream-lossy transfers on both
+// a QUIC-style transport and the shared TCP connection SPDY/h2 ride.
+type noHoLOutcome struct {
+	quicClean, quicLossy map[uint32]sim.Time
+	tcpClean, tcpLossy   map[uint32]sim.Time
+	quicDrops, tcpDrops  int
+}
+
+// geDropper is a seeded Gilbert-Elliott chain: the filter consults it
+// once per candidate packet, so the loss pattern is bursty but fully
+// deterministic for a given seed.
+type geDropper struct {
+	rng *sim.RNG
+	bad bool
+}
+
+func (g *geDropper) drop() bool {
+	if g.bad {
+		if g.rng.Float64() < 0.3 {
+			g.bad = false
+		}
+	} else if g.rng.Float64() < 0.25 {
+		g.bad = true
+	}
+	return g.bad && g.rng.Float64() < 0.6
+}
+
+// runNoHoLOracle interleaves three equal streams over one session and
+// applies seeded GE loss to stream 1's bytes only — QUIC can target the
+// stream directly (packets carry stream IDs); on TCP the filter targets
+// the byte ranges stream 1's chunks occupy in the multiplexed sequence
+// space. Retransmissions are never dropped, so recovery always succeeds
+// and completion times are well-defined.
+func runNoHoLOracle(t *testing.T) noHoLOutcome {
+	t.Helper()
+	const (
+		chunk   = 1380 // == MSS, so TCP segments align with chunk boundaries
+		rounds  = 24
+		total   = chunk * rounds
+		geSeed  = 97
+		streams = 3
+	)
+
+	quicRun := func(lossy bool) (map[uint32]sim.Time, int) {
+		loop := sim.NewLoop()
+		cfg := netem.ProfileWiFi()
+		cfg.Up.LossRate, cfg.Down.LossRate = 0, 0
+		cfg.Up.Jitter, cfg.Down.Jitter = 0, 0
+		path := netem.NewPath(loop, cfg, sim.NewRNG(7), nil)
+		net := tcpsim.NewNetwork(loop, path)
+		ccfg := tcpsim.DefaultConfig()
+		// A window larger than the whole transfer: congestion control
+		// never binds, so the only coupling left between streams is the
+		// delivery discipline under loss — exactly what the oracle tests.
+		ccfg.InitialCwnd = 1 << 17
+		client, server := net.NewQUICPair(ccfg, ccfg, "q1", "example.org")
+
+		drops := 0
+		if lossy {
+			ge := &geDropper{rng: sim.NewRNG(geSeed)}
+			path.AtoB.SetFilter(func(p netem.Payload, _ int) bool {
+				qp, ok := p.(*tcpsim.QUICPacket)
+				if !ok || qp.Ack || qp.Hs != 0 || qp.Len == 0 || qp.StreamID != 1 {
+					return true
+				}
+				if ge.drop() {
+					drops++
+					return false
+				}
+				return true
+			})
+		}
+		done := map[uint32]sim.Time{}
+		got := map[uint32]int{}
+		server.OnStreamDeliver(func(sid uint32, n int) {
+			got[sid] += n
+			if got[sid] == total {
+				done[sid] = loop.Now()
+			}
+		})
+		client.OnEstablished(func() {
+			for i := 0; i < rounds; i++ {
+				client.WriteStream(1, chunk)
+				client.WriteStream(3, chunk)
+				client.WriteStream(5, chunk)
+			}
+		})
+		client.Connect()
+		loop.RunUntilIdle()
+		for _, sid := range []uint32{1, 3, 5} {
+			if got[sid] != total {
+				t.Fatalf("quic lossy=%v: stream %d delivered %d/%d bytes", lossy, sid, got[sid], total)
+			}
+		}
+		return done, drops
+	}
+
+	tcpRun := func(lossy bool) (map[uint32]sim.Time, int) {
+		loop := sim.NewLoop()
+		cfg := netem.ProfileWiFi()
+		cfg.Up.LossRate, cfg.Down.LossRate = 0, 0
+		cfg.Up.Jitter, cfg.Down.Jitter = 0, 0
+		path := netem.NewPath(loop, cfg, sim.NewRNG(7), nil)
+		net := tcpsim.NewNetwork(loop, path)
+		ccfg := tcpsim.DefaultConfig()
+		ccfg.InitialCwnd = 1 << 17 // same discipline as the QUIC leg
+		client, server := net.NewConnPair(ccfg, ccfg, "t1", "example.org")
+
+		drops := 0
+		if lossy {
+			ge := &geDropper{rng: sim.NewRNG(geSeed)}
+			base := ^uint64(0)
+			path.AtoB.SetFilter(func(p netem.Payload, _ int) bool {
+				seg, ok := p.(*tcpsim.Segment)
+				if !ok || seg.Len == 0 || seg.Retx {
+					return true
+				}
+				if base == ^uint64(0) {
+					base = seg.Seq
+				}
+				// Chunks are written stream 1, 3, 5 per round and are
+				// MSS-sized, so a segment whose cycle offset falls in the
+				// first chunk carries stream 1's bytes.
+				if (seg.Seq-base)%(streams*chunk) >= chunk {
+					return true
+				}
+				if ge.drop() {
+					drops++
+					return false
+				}
+				return true
+			})
+		}
+		done := map[uint32]sim.Time{}
+		got := map[uint32]int{}
+		asm := &tcpsim.StreamAssembler{}
+		server.OnDeliver(asm.Deliver)
+		for i := 0; i < rounds; i++ {
+			for _, sid := range []uint32{1, 3, 5} {
+				sid := sid
+				asm.Expect(chunk, func() {
+					got[sid] += chunk
+					if got[sid] == total {
+						done[sid] = loop.Now()
+					}
+				})
+			}
+		}
+		client.OnEstablished(func() {
+			for i := 0; i < rounds; i++ {
+				client.Write(chunk) // stream 1's chunk
+				client.Write(chunk) // stream 3's
+				client.Write(chunk) // stream 5's
+			}
+		})
+		client.Connect()
+		loop.RunUntilIdle()
+		for _, sid := range []uint32{1, 3, 5} {
+			if got[sid] != total {
+				t.Fatalf("tcp lossy=%v: stream %d delivered %d/%d bytes", lossy, sid, got[sid], total)
+			}
+		}
+		return done, drops
+	}
+
+	var out noHoLOutcome
+	out.quicClean, _ = quicRun(false)
+	out.quicLossy, out.quicDrops = quicRun(true)
+	out.tcpClean, _ = tcpRun(false)
+	out.tcpLossy, out.tcpDrops = tcpRun(true)
+	return out
+}
+
+// checkNoHoLOutcome asserts the oracle proper: under seeded GE loss
+// confined to stream 1, QUIC's untouched streams complete no later than
+// their zero-loss trace (no transport HoL blocking), while the same
+// loss pattern on the shared TCP byte stream stalls the streams that
+// lost nothing of their own — the paper's single-connection fragility,
+// reproduced as a relation.
+func checkNoHoLOutcome(t *testing.T, out noHoLOutcome) {
+	t.Helper()
+	if out.quicDrops == 0 || out.tcpDrops == 0 {
+		t.Fatalf("filter never bit: quicDrops=%d tcpDrops=%d", out.quicDrops, out.tcpDrops)
+	}
+	for _, sid := range []uint32{3, 5} {
+		if out.quicLossy[sid] > out.quicClean[sid] {
+			t.Errorf("quic stream %d: lossy completion %v later than zero-loss %v (HoL blocking)",
+				sid, out.quicLossy[sid], out.quicClean[sid])
+		}
+		if out.tcpLossy[sid] <= out.tcpClean[sid] {
+			t.Errorf("tcp stream %d: lossy completion %v not later than zero-loss %v — shared-connection HoL blocking vanished",
+				sid, out.tcpLossy[sid], out.tcpClean[sid])
+		}
+	}
+	if out.quicLossy[1] <= out.quicClean[1] {
+		t.Errorf("quic stream 1: lossy completion %v not later than zero-loss %v; loss had no effect",
+			out.quicLossy[1], out.quicClean[1])
+	}
+}
+
+// TestQUICNoHoLUnderSingleStreamLoss runs the no-HoL oracle serially,
+// then as eight concurrent executions whose outcomes must all be
+// bit-identical to the serial one — the determinism contract for the
+// QUIC transport under -race at 1-way and 8-way parallelism.
+func TestQUICNoHoLUnderSingleStreamLoss(t *testing.T) {
+	serial := runNoHoLOracle(t)
+	checkNoHoLOutcome(t, serial)
+
+	outs := make([]noHoLOutcome, 8)
+	var wg sync.WaitGroup
+	for i := range outs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs[i] = runNoHoLOracle(t)
+		}()
+	}
+	wg.Wait()
+	for i, out := range outs {
+		if !reflect.DeepEqual(out, serial) {
+			t.Errorf("parallel execution %d diverged from serial:\n  serial:   %+v\n  parallel: %+v", i, serial, out)
+		}
+		checkNoHoLOutcome(t, out)
+	}
+}
+
+// TestPLTMonotoneInPromotionDelayAllProtocols extends the promotion
+// oracle across every protocol arm: stretching the IDLE->DCH promotion
+// delay is dead air before every cold radio wakeup, so no protocol —
+// however it multiplexes, frames or resumes — may load pages faster
+// because of it.
+func TestPLTMonotoneInPromotionDelayAllProtocols(t *testing.T) {
+	h := Harness{Runs: 2, Seed: 5}
+	r := NewRunner(2)
+	for _, mode := range []browser.Mode{browser.ModeHTTP, browser.ModeSPDY, browser.ModeH2, browser.ModeQUIC} {
+		prev := -1.0
+		prevScale := 0.0
+		for _, scale := range []float64{1, 2} {
+			rs := r.SweepStats(h, Options{
+				Mode: mode, Network: Net3G, Sites: metaSites(), PromotionScale: scale,
+			})
+			m := meanPLT(rs)
+			if m <= 0 {
+				t.Fatalf("%s scale=%g: degenerate mean PLT %v", mode, scale, m)
+			}
+			if prev >= 0 && m < prev {
+				t.Errorf("%s: mean PLT decreased when promotion delay rose %gx -> %gx: %.3fs -> %.3fs",
+					mode, prevScale, scale, prev, m)
+			}
+			prev, prevScale = m, scale
 		}
 	}
 }

@@ -1,0 +1,134 @@
+package h2
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFlowControlBasics(t *testing.T) {
+	f := NewFlowController(100, 60)
+
+	if got := f.Avail(1); got != 60 {
+		t.Fatalf("Avail(fresh stream) = %d, want stream window 60", got)
+	}
+	if err := f.Consume(1, 60); err != nil {
+		t.Fatalf("Consume(60): %v", err)
+	}
+	if got := f.Avail(1); got != 0 {
+		t.Fatalf("Avail after drain = %d, want 0", got)
+	}
+	// Stream 3 has credit of its own, but the shared connection window
+	// now binds at 40.
+	if got := f.Avail(3); got != 40 {
+		t.Fatalf("Avail(3) = %d, want connection remainder 40", got)
+	}
+	if err := f.Consume(3, 41); err == nil {
+		t.Fatal("Consume beyond connection window succeeded")
+	}
+	if err := f.Consume(1, 1); err == nil {
+		t.Fatal("Consume beyond stream window succeeded")
+	}
+	if err := f.Grant(1, 10); err != nil {
+		t.Fatalf("Grant: %v", err)
+	}
+	if got := f.Avail(1); got != 10 {
+		t.Fatalf("Avail after grant = %d, want 10", got)
+	}
+	if err := f.CheckConservation([]uint32{1, 3}); err != nil {
+		t.Fatalf("conservation: %v", err)
+	}
+}
+
+func TestFlowControlErrorsChangeNothing(t *testing.T) {
+	f := NewFlowController(100, 60)
+	mustState := func(conn, s1 int64) {
+		t.Helper()
+		if f.ConnWindow() != conn || f.StreamWindow(1) != s1 {
+			t.Fatalf("state = conn %d / stream %d, want %d / %d",
+				f.ConnWindow(), f.StreamWindow(1), conn, s1)
+		}
+	}
+	for _, err := range []error{
+		f.Consume(1, 0),
+		f.Consume(1, -5),
+		f.Consume(1, 61),
+		f.Grant(1, 0),
+		f.Grant(1, -1),
+		f.Grant(1, MaxWindow),
+		f.GrantConn(0),
+		f.GrantConn(MaxWindow),
+	} {
+		if err == nil {
+			t.Fatal("invalid op reported success")
+		}
+	}
+	mustState(100, 60)
+	if err := f.CheckConservation([]uint32{1}); err != nil {
+		t.Fatalf("conservation after rejected ops: %v", err)
+	}
+}
+
+func TestFlowControlOverflowDetection(t *testing.T) {
+	f := NewFlowController(MaxWindow, MaxWindow)
+	if err := f.Grant(1, 1); err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("Grant at ceiling: err = %v, want overflow", err)
+	}
+	if err := f.GrantConn(1); err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("GrantConn at ceiling: err = %v, want overflow", err)
+	}
+}
+
+func TestHeaderSizerWarmsLikeHPACK(t *testing.T) {
+	h := NewHeaderSizer()
+	ua := "Mozilla/5.0 (Windows NT 6.1) Chrome/23.0"
+	first := h.RequestSize("GET", "http", "example.org", "/", ua)
+	second := h.RequestSize("GET", "http", "example.org", "/", ua)
+	if second >= first {
+		t.Fatalf("repeat request did not shrink: first %d, second %d", first, second)
+	}
+	// A fully warmed repeat is one indexed byte per field + frame header:
+	// 8 fields for this vocabulary.
+	if want := FrameHeaderSize + 8; second != want {
+		t.Fatalf("warm request size = %d, want %d", second, want)
+	}
+	// A different path only pays for the changed field.
+	third := h.RequestSize("GET", "http", "example.org", "/style.css", ua)
+	if delta := third - second; delta != 1+len("/style.css") {
+		t.Fatalf("cold-path delta = %d, want literal cost %d", delta, 1+len("/style.css"))
+	}
+}
+
+func TestHeaderSizerResponse(t *testing.T) {
+	h := NewHeaderSizer()
+	first := h.ResponseSize("200 OK", "text/html", 1234)
+	same := h.ResponseSize("200 OK", "text/html", 1234)
+	if same >= first {
+		t.Fatalf("repeat response did not shrink: %d -> %d", first, same)
+	}
+	// :status 200 is in the static table: even the first emission costs
+	// a single byte for that field.
+	h2 := NewHeaderSizer()
+	with200 := h2.ResponseSize("200 OK", "x", 1)
+	h3 := NewHeaderSizer()
+	with404 := h3.ResponseSize("404 Not Found", "x", 1)
+	if with200 >= with404 {
+		t.Fatalf("static-table :status 200 (%d) not cheaper than 404 (%d)", with200, with404)
+	}
+}
+
+func TestHeaderSizerEviction(t *testing.T) {
+	h := NewHeaderSizer()
+	// Fill the dynamic table past its bound with distinct paths...
+	for i := 0; i < hpackDynamicEntries+10; i++ {
+		h.FieldSize(":path", "/obj"+strconv.Itoa(i))
+	}
+	// ...the earliest entry must have been evicted and re-pay literal cost.
+	if got := h.FieldSize(":path", "/obj0"); got == 1 {
+		t.Fatal("evicted entry still priced as indexed")
+	}
+	// A recent entry is still indexed.
+	if got := h.FieldSize(":path", "/obj"+strconv.Itoa(hpackDynamicEntries+9)); got != 1 {
+		t.Fatalf("recent entry not indexed: size %d", got)
+	}
+}

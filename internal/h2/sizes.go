@@ -1,0 +1,142 @@
+// Package h2 models the HTTP/2 framing-layer costs that differ from
+// SPDY/3: HPACK header compression (a shared static table plus a
+// per-connection dynamic table, instead of SPDY's zlib stream) and
+// credit-based per-stream flow control (WINDOW_UPDATE), which SPDY/3
+// as deployed in 2013 did not enforce per stream.
+//
+// Like internal/spdy, nothing here touches real sockets; the package
+// prices frames and enforces window arithmetic so the simulator charges
+// byte-accurate overheads. Everything is deterministic: map state is
+// only ever looked up by key, never iterated.
+package h2
+
+import "strconv"
+
+// Frame-size constants (RFC 7540 §4.1): every frame carries a 9-octet
+// header (3 length + 1 type + 1 flags + 4 stream id).
+const (
+	// FrameHeaderSize is the fixed HTTP/2 frame header.
+	FrameHeaderSize = 9
+	// DataFrameOverhead is the per-DATA-frame cost — the frame header
+	// alone (no padding modeled). SPDY's equivalent is 8.
+	DataFrameOverhead = FrameHeaderSize
+	// WindowUpdateFrameSize is a WINDOW_UPDATE frame: header + 4-octet
+	// increment.
+	WindowUpdateFrameSize = FrameHeaderSize + 4
+	// SettingsAckSize is an empty SETTINGS (or its ACK).
+	SettingsAckSize = FrameHeaderSize
+)
+
+// staticNames is the HPACK static-table name set relevant to the
+// simulated header vocabularies (RFC 7541 Appendix A). A name present
+// here never costs literal bytes, only its value does.
+var staticNames = map[string]bool{
+	":authority":      true,
+	":method":         true,
+	":path":           true,
+	":scheme":         true,
+	":status":         true,
+	"accept":          true,
+	"accept-encoding": true,
+	"accept-language": true,
+	"content-length":  true,
+	"content-type":    true,
+	"server":          true,
+	"user-agent":      true,
+}
+
+// staticPairs are full (name, value) entries of the static table: these
+// encode in a single indexed byte from the very first use.
+var staticPairs = map[string]bool{
+	":method\x00GET":                  true,
+	":scheme\x00http":                 true,
+	":scheme\x00https":                true,
+	":status\x00200":                  true,
+	"accept-encoding\x00gzip,deflate": true,
+}
+
+// hpackDynamicEntries bounds the modeled dynamic table by entry count —
+// a stand-in for the 4096-octet SETTINGS_HEADER_TABLE_SIZE default.
+const hpackDynamicEntries = 128
+
+// HeaderSizer prices HPACK-encoded header blocks on one connection
+// direction. The first emission of a (name, value) pair pays literal
+// bytes and installs it in the dynamic table; repeats cost one indexed
+// byte — the h2 analogue of the warmed zlib dictionary that
+// spdy.SizeOracle models, without SPDY's cross-stream compression of
+// values it has never seen.
+type HeaderSizer struct {
+	dyn   map[string]bool
+	order []string // FIFO eviction order for the dynamic table
+}
+
+// NewHeaderSizer returns a sizer with an empty dynamic table.
+func NewHeaderSizer() *HeaderSizer {
+	return &HeaderSizer{dyn: make(map[string]bool)}
+}
+
+// FieldSize prices one header field and updates the dynamic table.
+func (h *HeaderSizer) FieldSize(name, value string) int {
+	key := name + "\x00" + value
+	if staticPairs[key] || h.dyn[key] {
+		return 1 // indexed header field
+	}
+	// Literal with incremental indexing: prefix byte, then value (length
+	// prefix + octets), plus name octets when the name is not indexed.
+	n := 1 + 1 + len(value)
+	if !staticNames[name] {
+		n += 1 + len(name)
+	}
+	h.insert(key)
+	return n
+}
+
+func (h *HeaderSizer) insert(key string) {
+	if len(h.order) >= hpackDynamicEntries {
+		evict := h.order[0]
+		h.order = h.order[1:]
+		delete(h.dyn, evict)
+	}
+	h.dyn[key] = true
+	h.order = append(h.order, key)
+}
+
+// RequestSize prices a HEADERS frame for a GET request carrying the
+// same field vocabulary the SPDY path sends (minus :version, which
+// HTTP/2 drops), including the 9-octet frame header.
+func (h *HeaderSizer) RequestSize(method, scheme, host, path, userAgent string) int {
+	n := FrameHeaderSize
+	n += h.FieldSize(":method", method)
+	n += h.FieldSize(":scheme", scheme)
+	n += h.FieldSize(":authority", host)
+	n += h.FieldSize(":path", path)
+	n += h.FieldSize("accept", "text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8")
+	n += h.FieldSize("accept-encoding", "gzip,deflate,sdch")
+	n += h.FieldSize("accept-language", "en-US,en;q=0.8")
+	if userAgent != "" {
+		n += h.FieldSize("user-agent", userAgent)
+	}
+	return n
+}
+
+// ResponseSize prices the response HEADERS frame matching
+// spdy.ResponseHeaders' vocabulary.
+func (h *HeaderSizer) ResponseSize(status, contentType string, contentLength int64) int {
+	n := FrameHeaderSize
+	n += h.FieldSize(":status", statusCode(status))
+	n += h.FieldSize("content-type", contentType)
+	n += h.FieldSize("content-length", strconv.FormatInt(contentLength, 10))
+	n += h.FieldSize("server", "spdier-origin/1.0")
+	return n
+}
+
+// statusCode reduces a reason-phrase status ("200 OK") to the bare code
+// HTTP/2 transmits.
+func statusCode(status string) string {
+	for i := 0; i < len(status); i++ {
+		if status[i] == ' ' {
+			return status[:i]
+		}
+	}
+	return status
+}

@@ -61,14 +61,15 @@ func (c LinkConfig) queueLimit() int {
 
 // LinkStats counts per-link activity.
 type LinkStats struct {
-	Sent         int
-	Delivered    int
-	DroppedQueue int
-	DroppedLoss  int   // independent (uniform) loss
-	DroppedBurst int   // Gilbert-Elliott burst loss
-	Reordered    int   // delivered out of FIFO order
-	Duplicated   int   // delivered twice
-	Bytes        int64 // delivered bytes, duplicates included
+	Sent          int
+	Delivered     int
+	DroppedQueue  int
+	DroppedLoss   int   // independent (uniform) loss
+	DroppedBurst  int   // Gilbert-Elliott burst loss
+	DroppedFilter int   // dropped by an installed packet filter
+	Reordered     int   // delivered out of FIFO order
+	Duplicated    int   // delivered twice
+	Bytes         int64 // delivered bytes, duplicates included
 }
 
 // Link is one direction of a network path.
@@ -79,6 +80,11 @@ type Link struct {
 	gate Gate
 
 	receiver func(Payload)
+	// filter, when non-nil, sees every payload before the drop stages and
+	// may veto it (return false = drop). Targeted-loss oracles use this to
+	// drop, say, only one stream's packets; nil (the default) leaves the
+	// link's behaviour and randomness draws untouched.
+	filter func(Payload, int) bool
 
 	// busyUntil is when the serializer frees up.
 	busyUntil sim.Time
@@ -122,6 +128,11 @@ func NewLink(loop *sim.Loop, cfg LinkConfig, rng *sim.RNG, gate Gate) *Link {
 // SetReceiver installs the delivery callback for the far end.
 func (l *Link) SetReceiver(fn func(Payload)) { l.receiver = fn }
 
+// SetFilter installs a packet filter consulted first in Send, before any
+// randomness is drawn: returning false drops the packet (counted in
+// DroppedFilter). Passing nil removes the filter.
+func (l *Link) SetFilter(fn func(Payload, int) bool) { l.filter = fn }
+
 // Stats returns a copy of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
 
@@ -150,6 +161,10 @@ func (l *Link) Send(p Payload, size int) bool {
 	l.stats.Sent++
 	now := l.loop.Now()
 
+	if l.filter != nil && !l.filter(p, size) {
+		l.stats.DroppedFilter++
+		return false
+	}
 	if l.queuedBytes+size > l.cfg.queueLimit() {
 		l.stats.DroppedQueue++
 		return false

@@ -1,0 +1,179 @@
+package proxy
+
+import (
+	"spdier/internal/h2"
+	"spdier/internal/spdy"
+	"spdier/internal/tcpsim"
+	"spdier/internal/trace"
+	"spdier/internal/webpage"
+)
+
+// QUICClientStreams demultiplexes a client QUICConn's per-stream
+// delivery callback into per-stream assemblers, so response hooks fire
+// per stream rather than per connection — the receiver-side half of
+// stream-level loss isolation. The map is only ever looked up by key.
+type QUICClientStreams struct {
+	asms map[uint32]*tcpsim.StreamAssembler
+}
+
+// NewQUICClientStreams returns an empty demultiplexer; wire it with
+// client.OnStreamDeliver(cs.Deliver).
+func NewQUICClientStreams() *QUICClientStreams {
+	return &QUICClientStreams{asms: make(map[uint32]*tcpsim.StreamAssembler)}
+}
+
+func (c *QUICClientStreams) asm(streamID uint32) *tcpsim.StreamAssembler {
+	a := c.asms[streamID]
+	if a == nil {
+		a = &tcpsim.StreamAssembler{}
+		c.asms[streamID] = a
+	}
+	return a
+}
+
+// Expect registers the next size-byte message on one stream.
+func (c *QUICClientStreams) Expect(streamID uint32, size int, done func()) {
+	c.asm(streamID).Expect(size, done)
+}
+
+// Deliver reports n in-order bytes arriving on one stream.
+func (c *QUICClientStreams) Deliver(streamID uint32, n int) {
+	c.asm(streamID).Deliver(n)
+}
+
+// QUICSession is the proxy side of one QUIC-style connection. The pump
+// is the SPDY session's — strict priority, chunked round-robin within a
+// class, same high-water mark — but each response rides its own
+// transport stream: a retransmission on one stream never delays
+// delivery on another, and there is no per-DATA-frame overhead beyond
+// the packet headers the transport already charges. Response headers
+// are priced by the same HPACK model as h2 (QPACK behaves alike at this
+// fidelity).
+type QUICSession struct {
+	proxy   *Proxy
+	conn    *tcpsim.QUICConn
+	streams *QUICClientStreams // client-side per-stream assemblers
+
+	reqAsms map[uint32]*tcpsim.StreamAssembler
+	sizer   *h2.HeaderSizer
+	queue   spdy.PriorityQueue[*quicTask]
+
+	// QueuedResponses gauges the pump backlog, as on the SPDY session.
+	QueuedResponses int
+}
+
+// quicTask is one response in flight through the pump.
+type quicTask struct {
+	obj       *webpage.Object
+	rec       *trace.ProxyRecord
+	hooks     ResponseHooks
+	priority  spdy.Priority
+	sid       uint32
+	headSize  int
+	remaining int
+	started   bool
+}
+
+// NewQUICSession attaches a proxy handler to the server-side QUIC
+// endpoint. clientStreams is the browser-side demultiplexer through
+// which response hooks fire.
+func NewQUICSession(p *Proxy, serverConn *tcpsim.QUICConn, clientStreams *QUICClientStreams) *QUICSession {
+	s := &QUICSession{
+		proxy:   p,
+		conn:    serverConn,
+		streams: clientStreams,
+		reqAsms: make(map[uint32]*tcpsim.StreamAssembler),
+		sizer:   h2.NewHeaderSizer(),
+	}
+	serverConn.OnStreamDeliver(func(streamID uint32, n int) {
+		s.reqAsm(streamID).Deliver(n)
+	})
+	serverConn.SetWritableHook(sendHighWater, s.pump)
+	return s
+}
+
+// Conn exposes the proxy-side QUIC endpoint.
+func (s *QUICSession) Conn() *tcpsim.QUICConn { return s.conn }
+
+func (s *QUICSession) reqAsm(streamID uint32) *tcpsim.StreamAssembler {
+	a := s.reqAsms[streamID]
+	if a == nil {
+		a = &tcpsim.StreamAssembler{}
+		s.reqAsms[streamID] = a
+	}
+	return a
+}
+
+// ExpectRequest registers an inbound request of reqSize bytes for obj on
+// streamID. The browser calls this immediately before writing the
+// request bytes on that stream.
+func (s *QUICSession) ExpectRequest(obj *webpage.Object, streamID uint32, reqSize int, prio spdy.Priority, hooks ResponseHooks) {
+	s.reqAsm(streamID).Expect(reqSize, func() {
+		rec := s.proxy.record(obj)
+		s.proxy.Origin.Fetch(obj,
+			func() { rec.OriginFirstByte = s.proxy.Loop.Now() },
+			func() {
+				rec.OriginDone = s.proxy.Loop.Now()
+				s.enqueue(obj, streamID, rec, prio, hooks)
+			})
+	})
+}
+
+func (s *QUICSession) enqueue(obj *webpage.Object, streamID uint32, rec *trace.ProxyRecord, prio spdy.Priority, hooks ResponseHooks) {
+	s.queue.Push(prio, &quicTask{
+		obj:       obj,
+		rec:       rec,
+		hooks:     hooks,
+		priority:  prio,
+		sid:       streamID,
+		headSize:  s.sizer.ResponseSize("200 OK", contentType(obj.Kind), int64(obj.Size)),
+		remaining: obj.Size,
+	})
+	s.QueuedResponses++
+	s.pump()
+}
+
+// pump feeds the transport: highest priority first, one chunk at a
+// time, each chunk written to the response's own stream.
+func (s *QUICSession) pump() {
+	for s.conn.BufferedBytes() < sendHighWater {
+		task, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		now := s.proxy.Loop.Now()
+		if !task.started {
+			task.started = true
+			task.rec.SendStart = now
+			hooks := task.hooks
+			s.streams.Expect(task.sid, task.headSize, func() {
+				if hooks.OnFirstByte != nil {
+					hooks.OnFirstByte()
+				}
+			})
+			s.conn.WriteStream(task.sid, task.headSize)
+		}
+		n := task.remaining
+		if n > chunkSize {
+			n = chunkSize
+		}
+		task.remaining -= n
+		finished := task.remaining == 0
+		rec := task.rec
+		hooks := task.hooks
+		s.streams.Expect(task.sid, n, func() {
+			if finished {
+				rec.SendDone = s.proxy.Loop.Now()
+				if hooks.OnDone != nil {
+					hooks.OnDone()
+				}
+			}
+		})
+		s.conn.WriteStream(task.sid, n)
+		if finished {
+			s.QueuedResponses--
+		} else {
+			s.queue.Push(task.priority, task)
+		}
+	}
+}

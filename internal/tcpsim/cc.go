@@ -39,14 +39,13 @@ type CongestionControl interface {
 // "cubic"); unknown names panic, since they always indicate an
 // experiment-config typo.
 func NewCC(name string) CongestionControl {
-	switch name {
-	case "reno", "":
-		return &Reno{}
-	case "cubic":
-		return NewCubic()
-	default:
-		panic("tcpsim: unknown congestion control " + name)
+	if name == "" {
+		name = "reno"
 	}
+	if ctor, ok := ccRegistry[name]; ok {
+		return ctor()
+	}
+	panic("tcpsim: unknown congestion control " + name)
 }
 
 // Reno is classic AIMD: +1 segment per RTT in congestion avoidance,

@@ -81,6 +81,11 @@ type Config struct {
 	// variant's state are restored — the in-protocol fix for the
 	// paper's §6 pathology, applied without resetting the estimator.
 	FRTO bool
+
+	// ZeroRTT enables 0-RTT resumption on QUIC-style endpoints: when the
+	// metrics cache holds an entry for the destination, Connect skips
+	// the handshake round trip entirely. Ignored by TCP Conns.
+	ZeroRTT bool
 }
 
 // DefaultConfig returns the Linux-like defaults used by the experiments.
@@ -118,15 +123,18 @@ const (
 // of many connections over the same emulated links — exactly how many
 // browser connections share one radio bearer.
 type Network struct {
-	loop    *sim.Loop
-	path    *netem.Path
-	conns   []*Conn
-	segFree []*Segment
-	// segsLive counts segments handed out by getSeg and not yet retired
-	// through putSeg. Every segment retires exactly once — delivered,
-	// dropped at the queue/loss/burst stage, or duplicated-and-delivered
-	// — so a quiesced network must read zero; anything else is a pool
-	// leak or a double free.
+	loop     *sim.Loop
+	path     *netem.Path
+	conns    []*Conn
+	qconns   []*QUICConn
+	segFree  []*Segment
+	qpktFree []*QUICPacket
+	// segsLive counts segments and QUIC packets handed out by
+	// getSeg/getQPkt and not yet retired through putSeg/putQPkt. Every
+	// unit retires exactly once — delivered, dropped at the
+	// queue/loss/burst stage, or duplicated-and-delivered — so a
+	// quiesced network must read zero; anything else is a pool leak or
+	// a double free.
 	segsLive int
 }
 
@@ -145,8 +153,12 @@ func (n *Network) Conns() []*Conn { return n.conns }
 // then retains statistics, not the closure graph of the whole run.
 func (n *Network) ReleaseRuntime() {
 	n.segFree = nil
+	n.qpktFree = nil
 	for _, c := range n.conns {
 		c.releaseRuntime()
+	}
+	for _, q := range n.qconns {
+		q.releaseRuntime()
 	}
 }
 
@@ -166,15 +178,19 @@ func (c *Conn) releaseRuntime() {
 func NewNetwork(loop *sim.Loop, path *netem.Path) *Network {
 	n := &Network{loop: loop, path: path}
 	deliver := func(p netem.Payload) {
-		// Non-TCP traffic (e.g. the Figure 14 keep-alive pinger) shares
-		// the path; ignore anything that isn't a segment.
-		seg, ok := p.(*Segment)
-		if !ok {
-			return
+		// TCP segments and QUIC packets share the path (and may share it
+		// with non-transport traffic such as the Figure 14 keep-alive
+		// pinger); dispatch by concrete type, ignore anything else.
+		switch v := p.(type) {
+		case *Segment:
+			to := v.to
+			to.handleSegment(v)
+			n.putSeg(v)
+		case *QUICPacket:
+			to := v.to
+			to.handlePacket(v)
+			n.putQPkt(v)
 		}
-		to := seg.to
-		to.handleSegment(seg)
-		n.putSeg(seg)
 	}
 	path.AtoB.SetReceiver(deliver)
 	path.BtoA.SetReceiver(deliver)
@@ -206,6 +222,31 @@ func (n *Network) putSeg(s *Segment) {
 	*s = Segment{}
 	s.Sack = sack
 	n.segFree = append(n.segFree, s)
+}
+
+// getQPkt / putQPkt mirror getSeg / putSeg for QUIC packets, sharing the
+// segsLive balance so LiveSegments covers both transports.
+func (n *Network) getQPkt() *QUICPacket {
+	n.segsLive++
+	if ln := len(n.qpktFree); segPooling && ln > 0 {
+		p := n.qpktFree[ln-1]
+		n.qpktFree = n.qpktFree[:ln-1]
+		return p
+	}
+	return &QUICPacket{}
+}
+
+// putQPkt zeroes a delivered packet and returns it to the pool, keeping
+// the AckRanges backing array so later ACKs reuse it.
+func (n *Network) putQPkt(p *QUICPacket) {
+	n.segsLive--
+	if !segPooling {
+		return
+	}
+	ranges := p.AckRanges[:0]
+	*p = QUICPacket{}
+	p.AckRanges = ranges
+	n.qpktFree = append(n.qpktFree, p)
 }
 
 // Loop returns the simulation loop.
