@@ -30,6 +30,7 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"spdier/internal/analysis"
@@ -64,8 +65,9 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("simlint", flag.ExitOnError)
 	dir := fs.String("dir", "", "lint a bare directory of Go files instead of package patterns")
 	list := fs.Bool("list", false, "describe the analyzer suite and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout instead of text on stderr")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: simlint [-list] [-dir directory] [packages]\n")
+		fmt.Fprintf(fs.Output(), "usage: simlint [-list] [-json] [-dir directory] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -88,7 +90,7 @@ func run(args []string) int {
 			fmt.Fprintln(os.Stderr, "simlint:", err)
 			return 2
 		}
-		return report(diags)
+		return report(diags, *jsonOut)
 	}
 
 	patterns := fs.Args()
@@ -105,16 +107,20 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		return 2
 	}
+	// One store for the whole run: Load returns packages in go list
+	// -deps order (dependencies first), so by the time a package is
+	// analyzed every dependency's facts are already in the store.
+	facts := analysis.NewFactStore()
 	var all []analysis.Diagnostic
 	for _, pkg := range pkgs {
-		diags, err := simlint.Check(pkg)
+		diags, err := simlint.CheckFacts(pkg, facts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simlint:", err)
 			return 2
 		}
 		all = append(all, diags...)
 	}
-	return report(all)
+	return report(all, *jsonOut)
 }
 
 // buildFingerprint hashes this executable so the version string (and
@@ -133,7 +139,38 @@ func buildFingerprint() string {
 	return fmt.Sprintf("%x", h.Sum64())
 }
 
-func report(diags []analysis.Diagnostic) int {
+// jsonDiagnostic is the machine-readable finding shape -json emits.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func report(diags []analysis.Diagnostic, asJSON bool) int {
+	if asJSON {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+		if len(diags) == 0 {
+			return 0
+		}
+		return 1
+	}
 	if len(diags) == 0 {
 		return 0
 	}
@@ -145,7 +182,9 @@ func report(diags []analysis.Diagnostic) int {
 }
 
 // vetConfig is the unitchecker config cmd/go writes for -vettool
-// invocations (a stable, documented subset of its fields).
+// invocations (a stable, documented subset of its fields). PackageVetx
+// maps each dependency's import path to the facts file a previous unit
+// wrote; VetxOutput is where this unit must write its own.
 type vetConfig struct {
 	ID                        string
 	Compiler                  string
@@ -154,6 +193,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -161,8 +201,11 @@ type vetConfig struct {
 
 // unitcheck runs one vet unit of work. Diagnostics go to stderr in the
 // standard file:line:col form; exit status 2 signals findings to
-// cmd/go. The facts file must exist afterwards even though this suite
-// exports no facts — cmd/go caches on it.
+// cmd/go. Facts make this a two-way protocol: the store is seeded from
+// every dependency's .vetx file before the suite runs, and whatever the
+// fact analyzers export is serialized to VetxOutput afterwards — which
+// is why a VetxOnly unit (a dependency vetted only for its facts) still
+// runs the suite; it merely suppresses the diagnostics.
 func unitcheck(cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -174,18 +217,38 @@ func unitcheck(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "simlint: bad vet config %s: %v\n", cfgPath, err)
 		return 1
 	}
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("simlint: no facts\n"), 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "simlint:", err)
+	simlint.RegisterFactTypes()
+	facts := analysis.NewFactStore()
+	for _, path := range sortedKeys(cfg.PackageVetx) {
+		// A dependency outside the module wrote no facts (or an older
+		// simlint wrote a placeholder); Decode ignores unrecognized
+		// content, and a vanished file is treated the same way.
+		vetx, readErr := os.ReadFile(cfg.PackageVetx[path])
+		if readErr != nil {
+			continue
+		}
+		if decErr := facts.Decode(vetx); decErr != nil {
+			fmt.Fprintf(os.Stderr, "simlint: facts of %s: %v\n", path, decErr)
 			return 1
 		}
 	}
-	if cfg.VetxOnly {
+	writeFacts := func() int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		encoded, encErr := facts.Encode()
+		if encErr == nil {
+			encErr = os.WriteFile(cfg.VetxOutput, encoded, 0o666)
+		}
+		if encErr != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", encErr)
+			return 1
+		}
 		return 0
 	}
 	analyzers, _ := simlint.ForPackage(cfg.ImportPath)
 	if len(analyzers) == 0 {
-		return 0
+		return writeFacts()
 	}
 	var files []string
 	for _, f := range cfg.GoFiles {
@@ -199,22 +262,34 @@ func unitcheck(cfgPath string) int {
 	pkg, err := analysis.TypeCheck(fset, lookup.Importer(fset), cfg.ImportPath, cfg.Dir, files)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return writeFacts()
 		}
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		return 1
 	}
 	pkg.ImportPath = cfg.ImportPath
-	diags, err := simlint.Check(pkg)
+	diags, err := simlint.CheckFacts(pkg, facts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		return 1
 	}
-	if len(diags) == 0 {
+	if code := writeFacts(); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
 		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
 	}
 	return 2
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -32,6 +32,12 @@ type Analyzer struct {
 	// and why, shown by `simlint -help`.
 	Doc string
 
+	// FactTypes lists the fact types this analyzer exports or imports
+	// (one zero value per type). The driver registers them for wire
+	// decoding before any pass runs. Analyzers without facts leave it
+	// nil.
+	FactTypes []Fact
+
 	// Run executes the check over one package.
 	Run func(*Pass) error
 }
@@ -48,8 +54,15 @@ type Pass struct {
 	// fileFilter, when non-nil, restricts reporting to positions whose
 	// file basename it accepts. The driver uses it to scope analyzers
 	// like clockarith to probe/report/metrics files without the
-	// analyzer itself knowing the repo layout.
+	// analyzer itself knowing the repo layout. A filter that rejects
+	// everything mutes an analyzer's diagnostics entirely while its
+	// fact exports still happen — how fact-producing analyzers run
+	// over packages outside their reporting scope.
 	fileFilter func(base string) bool
+
+	// facts is the run-wide fact store; nil when the driver runs
+	// without facts (Export/Import become no-ops).
+	facts *FactStore
 
 	diags *[]Diagnostic
 }
@@ -88,10 +101,37 @@ func baseName(path string) string {
 	return path
 }
 
+// RunConfig carries the cross-cutting inputs for one analysis run.
+type RunConfig struct {
+	// Facts is the shared fact store. In a standalone multi-package run
+	// the same store is passed for every package (dependency-order
+	// loading makes dependee facts visible to dependents); in vettool
+	// mode it is seeded from the dependency .vetx files first.
+	Facts *FactStore
+
+	// FileFilters maps analyzer name to an optional per-file reporting
+	// scope predicate (see Pass.fileFilter).
+	FileFilters map[string]func(base string) bool
+}
+
 // RunAnalyzers executes each analyzer over the loaded package and
 // returns the combined diagnostics sorted by position. fileFilters maps
-// analyzer name to an optional per-file scope predicate.
+// analyzer name to an optional per-file scope predicate. Facts are
+// confined to a fresh store; multi-package drivers that need
+// cross-package facts use RunAnalyzersFacts with a shared store.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer, fileFilters map[string]func(base string) bool) ([]Diagnostic, error) {
+	return RunAnalyzersFacts(pkg, analyzers, RunConfig{Facts: NewFactStore(), FileFilters: fileFilters})
+}
+
+// RunAnalyzersFacts executes each analyzer over the loaded package with
+// an explicit run configuration, registering every analyzer's fact
+// types first, and returns the combined diagnostics sorted by position.
+func RunAnalyzersFacts(pkg *Package, analyzers []*Analyzer, cfg RunConfig) ([]Diagnostic, error) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			RegisterFactType(f)
+		}
+	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -100,7 +140,8 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer, fileFilters map[string]fu
 			Files:      pkg.Files,
 			Pkg:        pkg.Types,
 			TypesInfo:  pkg.TypesInfo,
-			fileFilter: fileFilters[a.Name],
+			fileFilter: cfg.FileFilters[a.Name],
+			facts:      cfg.Facts,
 			diags:      &diags,
 		}
 		if err := a.Run(pass); err != nil {
@@ -125,6 +166,12 @@ func SortDiagnostics(diags []Diagnostic) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		// Several findings can share a position (fieldcover anchors all
+		// of a rule's misses to the mapping function when the struct is
+		// foreign); order them by message so output is deterministic.
+		return a.Message < b.Message
 	})
 }

@@ -53,8 +53,72 @@ func check(t *testing.T, a *analysis.Analyzer, pkgdir string, suppress bool) {
 	if suppress {
 		diags = analysis.ApplySuppressions(pkg.Fset, pkg.Files, diags)
 	}
+	matchAll(t, collectWants(t, pkg), diags)
+}
 
-	wants := collectWants(t, pkg)
+// RunWithDeps is Run for analyzers that communicate through facts: it
+// loads the named dependency packages (testdata/src/<dep>, importable
+// by the target package as plain "<dep>") in order, runs the analyzer
+// over each with one shared fact store — so facts exported while
+// analyzing a dep are visible when the target is analyzed, exactly as
+// in a dependency-ordered driver run — then runs the target.
+// Diagnostics in dependency files are checked against their own
+// // want annotations.
+func RunWithDeps(t *testing.T, a *analysis.Analyzer, pkgdir string, deps ...string) {
+	t.Helper()
+	pkgs := LoadPackages(t, pkgdir, deps...)
+	all := Diagnostics(t, a, pkgs)
+	wants := map[string][]*want{}
+	for _, pkg := range pkgs {
+		for k, v := range collectWants(t, pkg) {
+			wants[k] = append(wants[k], v...)
+		}
+	}
+	matchAll(t, wants, all)
+}
+
+// LoadPackages loads testdata/src/<dep> for each dep, then
+// testdata/src/<pkgdir>, returning them in that (dependency) order.
+// Deps are importable by the later packages under their bare names.
+func LoadPackages(t *testing.T, pkgdir string, deps ...string) []*analysis.Package {
+	t.Helper()
+	order := append(append([]string{}, deps...), pkgdir)
+	dirs := map[string]string{}
+	for _, name := range order {
+		dirs[name] = filepath.Join("testdata", "src", name)
+	}
+	// LoadDirs type-checks in slice order, so deps must precede the
+	// packages importing them.
+	sorted := append(append([]string{}, deps...), pkgdir)
+	pkgs, err := analysis.LoadDirs(moduleRoot(t), sorted, dirs)
+	if err != nil {
+		t.Fatalf("loading %v: %v", sorted, err)
+	}
+	return pkgs
+}
+
+// Diagnostics runs the analyzer over pkgs in order with one shared fact
+// store and returns the combined diagnostics, position-sorted.
+func Diagnostics(t *testing.T, a *analysis.Analyzer, pkgs []*analysis.Package) []analysis.Diagnostic {
+	t.Helper()
+	facts := analysis.NewFactStore()
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzersFacts(pkg, []*analysis.Analyzer{a}, analysis.RunConfig{Facts: facts})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		all = append(all, diags...)
+	}
+	analysis.SortDiagnostics(all)
+	return all
+}
+
+// matchAll checks collected diagnostics against collected expectations:
+// every diagnostic must match a want on its line, every want must be
+// matched by some diagnostic.
+func matchAll(t *testing.T, wants map[string][]*want, diags []analysis.Diagnostic) {
+	t.Helper()
 	for _, d := range diags {
 		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
 		if !matchWant(wants[key], d.Message) {

@@ -1,0 +1,626 @@
+// Package dettaint generalizes maprange interprocedurally: it tracks
+// values whose ORDER derives from a nondeterministic source — map
+// iteration, select winners, sync.Map traversal — and reports when that
+// order becomes observable in output, even when the observation happens
+// through a function call that maprange (a purely local check) cannot
+// see into.
+//
+// Two facts carry the analysis across package boundaries:
+//
+//   - SinkFact marks a function whose call produces order-observable
+//     effects (it prints, writes a non-local writer, or sends on a
+//     non-local channel, directly or via its own callees). Calling a
+//     SinkFact function once per map entry leaks iteration order.
+//   - OrderedFact marks a function whose return value's order derives
+//     from map iteration (it returns from inside a map range, or
+//     returns a slice accumulated under one without sorting). Ranging
+//     over such a result is as nondeterministic as ranging the map.
+//
+// The division of labour with maprange is deliberate: inside a plain
+// range-over-map, the *direct* effects (fmt calls, writer methods,
+// sends, appends, event scheduling) are maprange findings; dettaint
+// adds only what maprange is blind to — calls that reach a sink through
+// another function, accumulator merges (float folds are order-
+// sensitive), regions maprange does not recognize (sync.Map.Range,
+// ranges over map-ordered values), select statements, and map-ordered
+// values that flow to a sink outside any loop.
+//
+// The collect-then-sort idiom stays clean here exactly as in maprange:
+// passing a value to sort/slices cleanses its taint.
+package dettaint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spdier/internal/analysis"
+)
+
+// SinkFact marks a function whose call emits order-observable output.
+type SinkFact struct {
+	// Via names the underlying effect, e.g. "fmt.Println" or a callee
+	// chain like "emit (fmt.Println)".
+	Via string `json:"via"`
+}
+
+// AFact marks SinkFact as an analyzer fact.
+func (*SinkFact) AFact() {}
+
+// OrderedFact marks a function returning map-iteration-ordered data.
+type OrderedFact struct {
+	// Source says where the ordering came from.
+	Source string `json:"source"`
+}
+
+// AFact marks OrderedFact as an analyzer fact.
+func (*OrderedFact) AFact() {}
+
+// Analyzer is the dettaint check.
+var Analyzer = &analysis.Analyzer{
+	Name: "dettaint",
+	Doc: "track map-iteration-ordered values interprocedurally and report when their order reaches " +
+		"output sinks, accumulator merges, sync.Map traversals or select races in deterministic code",
+	FactTypes: []analysis.Fact{&SinkFact{}, &OrderedFact{}},
+	Run:       run,
+}
+
+// printers are the fmt functions that render output; the Fprint family
+// only sinks when its writer outlives the function.
+var printers = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+}
+
+var fprinters = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// writeMethods are output-sink method names (io.Writer, strings.Builder,
+// the repo's Report type).
+var writeMethods = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// accumMethods are order-sensitive accumulator folds: float merges are
+// non-associative, so folding shards in map order changes the bits.
+var accumMethods = map[string]bool{
+	"Merge": true, "Fold": true,
+}
+
+type regionKind int
+
+const (
+	regMapRange regionKind = iota
+	regOrderedRange
+	regSyncMapRange
+)
+
+func (k regionKind) context() string {
+	switch k {
+	case regOrderedRange:
+		return "inside range over map-ordered value"
+	case regSyncMapRange:
+		return "inside sync.Map.Range callback"
+	}
+	return "inside range over map"
+}
+
+func (k regionKind) advice() string {
+	switch k {
+	case regOrderedRange:
+		return "the order derives from map iteration; sort before iterating"
+	case regSyncMapRange:
+		return "traversal order is unspecified; snapshot and sort the keys first"
+	}
+	return "iteration order is randomized per run; sort the keys first"
+}
+
+type region struct {
+	kind regionKind
+	body ast.Node // the loop or callback body searched for effects
+}
+
+type analyzer struct {
+	pass    *analysis.Pass
+	sinks   map[*types.Func]string // local funcs known to sink, by via
+	ordered map[*types.Func]string // local funcs returning ordered data
+}
+
+func run(pass *analysis.Pass) error {
+	a := &analyzer{
+		pass:    pass,
+		sinks:   map[*types.Func]string{},
+		ordered: map[*types.Func]string{},
+	}
+	// Declarations in source order: the fixpoint below must be
+	// deterministic so exported fact contents (and therefore vetx
+	// bytes) are reproducible.
+	type decl struct {
+		fn *types.Func
+		fd *ast.FuncDecl
+	}
+	var decls []decl
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, isFunc := d.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			if fn, isFn := pass.TypesInfo.Defs[fd.Name].(*types.Func); isFn {
+				decls = append(decls, decl{fn, fd})
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			via, src := a.analyzeBody(d.fd, false)
+			if via != "" && a.sinks[d.fn] == "" {
+				a.sinks[d.fn] = via
+				changed = true
+			}
+			if src != "" && a.ordered[d.fn] == "" {
+				a.ordered[d.fn] = src
+				changed = true
+			}
+		}
+	}
+	for _, d := range decls {
+		if via := a.sinks[d.fn]; via != "" {
+			pass.ExportObjectFact(d.fn, &SinkFact{Via: via})
+		}
+		if src := a.ordered[d.fn]; src != "" {
+			pass.ExportObjectFact(d.fn, &OrderedFact{Source: src})
+		}
+	}
+	for _, d := range decls {
+		a.analyzeBody(d.fd, true)
+	}
+	return nil
+}
+
+// isSink resolves whether a called function sinks output, locally or
+// through an imported fact.
+func (a *analyzer) isSink(fn *types.Func) (string, bool) {
+	if via, ok := a.sinks[fn]; ok && via != "" {
+		return via, true
+	}
+	var f SinkFact
+	if a.pass.ImportObjectFact(fn, &f) {
+		return f.Via, true
+	}
+	return "", false
+}
+
+// isOrdered resolves whether a called function returns map-ordered
+// data, locally or through an imported fact.
+func (a *analyzer) isOrdered(fn *types.Func) bool {
+	if a.ordered[fn] != "" {
+		return true
+	}
+	var f OrderedFact
+	return a.pass.ImportObjectFact(fn, &f)
+}
+
+// analyzeBody inspects one function. It returns the function's own
+// sink/ordered classification, and when report is true also emits the
+// in-body diagnostics.
+func (a *analyzer) analyzeBody(fd *ast.FuncDecl, report bool) (sinkVia, orderedSrc string) {
+	body := fd.Body
+	info := a.pass.TypesInfo
+
+	// Objects passed to sort/slices anywhere in the body are cleansed:
+	// the collect-then-sort idiom restores a deterministic order.
+	cleansed := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if pkg, _, isPkgFn := analysis.PkgFuncCall(info, call); isPkgFn && (pkg == "sort" || pkg == "slices") {
+			for _, arg := range call.Args {
+				if obj := rootObj(info, arg); obj != nil {
+					cleansed[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Taint: variables whose order derives from map iteration. Iterated
+	// to a fixpoint so chains (v := Keys(m); w := v) propagate.
+	tainted := map[types.Object]bool{}
+	taintIdent := func(e ast.Expr) bool {
+		id, isID := ast.Unparen(e).(*ast.Ident)
+		if !isID {
+			return false
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || cleansed[obj] || tainted[obj] {
+			return false
+		}
+		tainted[obj] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				hot := false
+				for _, rhs := range s.Rhs {
+					if a.exprOrdered(rhs, tainted) {
+						hot = true
+					}
+				}
+				if hot {
+					for _, lhs := range s.Lhs {
+						if taintIdent(lhs) {
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if a.rangeKind(s, tainted) != nil {
+					for _, v := range []ast.Expr{s.Key, s.Value} {
+						if v != nil && taintIdent(v) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Nondeterministic-order regions.
+	var regions []region
+	mapRangeBodies := map[*ast.BlockStmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if k := a.rangeKind(s, tainted); k != nil {
+				regions = append(regions, region{kind: *k, body: s.Body})
+				if *k == regMapRange {
+					mapRangeBodies[s.Body] = true
+				}
+			}
+		case *ast.CallExpr:
+			if lit, isRange := syncMapRangeCallback(info, s); isRange && lit != nil {
+				regions = append(regions, region{kind: regSyncMapRange, body: lit.Body})
+			}
+		}
+		return true
+	})
+
+	// The function's own classification.
+	sinkVia = a.firstSinkEffect(body)
+	orderedSrc = a.orderedReturn(body, mapRangeBodies, tainted)
+
+	if !report {
+		return sinkVia, orderedSrc
+	}
+
+	reported := map[string]bool{}
+	reportOnce := func(pos token.Pos, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		key := fmt.Sprintf("%d:%s", pos, msg)
+		if !reported[key] {
+			reported[key] = true
+			a.pass.Reportf(pos, "%s", msg)
+		}
+	}
+
+	inRegion := func(pos token.Pos) bool {
+		for _, r := range regions {
+			if r.body.Pos() <= pos && pos <= r.body.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Region effects.
+	for _, r := range regions {
+		a.reportRegion(r, body, reportOnce)
+	}
+
+	// Map-ordered values reaching a sink outside any region (inside a
+	// region the region rules — or maprange — own the finding).
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall || inRegion(call.Pos()) {
+			return true
+		}
+		hot := false
+		for _, arg := range call.Args {
+			if a.exprOrdered(arg, tainted) {
+				hot = true
+			}
+		}
+		if !hot {
+			return true
+		}
+		if desc, isEffect := a.callEffect(call, body, true); isEffect {
+			reportOnce(call.Pos(), "%s receives a map-ordered value: sort it before it reaches output", desc)
+		}
+		return true
+	})
+
+	// Select statements: the winner among ready cases is chosen at
+	// random by the runtime, so any multi-case select in deterministic
+	// code is an ordering hazard regardless of what the cases do.
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, isSel := n.(*ast.SelectStmt)
+		if isSel && len(sel.Body.List) >= 2 {
+			reportOnce(sel.Select, "select with %d cases resolves nondeterministically: deterministic code must not race channels; make the choice explicit", len(sel.Body.List))
+		}
+		return true
+	})
+
+	return sinkVia, orderedSrc
+}
+
+// reportRegion emits the findings inside one nondeterministic-order
+// region. In plain map ranges only interprocedural effects are reported
+// (direct ones are maprange's); in the regions maprange cannot see,
+// direct effects are reported too.
+func (a *analyzer) reportRegion(r region, fnBody *ast.BlockStmt, reportOnce func(token.Pos, string, ...any)) {
+	ctx, advice := r.kind.context(), r.kind.advice()
+	ast.Inspect(r.body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			// Interprocedural: a call that reaches a sink through
+			// another function — invisible to maprange in any region.
+			if fn, isStatic := analysis.CalleeFunc(a.pass.TypesInfo, s); isStatic {
+				if via, sink := a.isSink(fn); sink {
+					reportOnce(s.Pos(), "call to %s (%s) %s reaches an output sink: %s", fn.Name(), via, ctx, advice)
+					return true
+				}
+			}
+			// Accumulator folds: order-sensitive in every region, and
+			// outside maprange's effect set.
+			if name, isMethod := analysis.MethodCallName(a.pass.TypesInfo, s); isMethod && accumMethods[name] {
+				sel := ast.Unparen(s.Fun).(*ast.SelectorExpr)
+				if !localTo(a.pass.TypesInfo, sel.X, fnBody) {
+					reportOnce(s.Pos(), "%s.%s %s folds accumulator state in nondeterministic order: %s", types.ExprString(sel.X), name, ctx, advice)
+					return true
+				}
+			}
+			// Direct effects, only where maprange is blind.
+			if r.kind != regMapRange {
+				if desc, isEffect := a.callEffect(s, fnBody, false); isEffect {
+					reportOnce(s.Pos(), "%s %s: %s", desc, ctx, advice)
+				}
+			}
+		case *ast.SendStmt:
+			if r.kind != regMapRange && !localTo(a.pass.TypesInfo, s.Chan, fnBody) {
+				reportOnce(s.Pos(), "send on %s %s: %s", types.ExprString(s.Chan), ctx, advice)
+			}
+		}
+		return true
+	})
+}
+
+// callEffect classifies a call as a direct output effect (printer,
+// non-local Fprint, non-local write method) or — when includeFacts is
+// set — a call into a SinkFact function.
+func (a *analyzer) callEffect(call *ast.CallExpr, fnBody *ast.BlockStmt, includeFacts bool) (string, bool) {
+	info := a.pass.TypesInfo
+	if pkg, name, isPkgFn := analysis.PkgFuncCall(info, call); isPkgFn {
+		if pkg == "fmt" && printers[name] {
+			return "fmt." + name, true
+		}
+		if pkg == "fmt" && fprinters[name] && len(call.Args) > 0 && !localTo(info, call.Args[0], fnBody) {
+			return "fmt." + name, true
+		}
+		if includeFacts {
+			if fn, isStatic := analysis.CalleeFunc(info, call); isStatic {
+				if via, sink := a.isSink(fn); sink {
+					return fmt.Sprintf("call to %s (%s)", fn.Name(), via), true
+				}
+			}
+		}
+		return "", false
+	}
+	if name, isMethod := analysis.MethodCallName(info, call); isMethod && writeMethods[name] {
+		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !localTo(info, sel.X, fnBody) {
+			return types.ExprString(sel.X) + "." + name, true
+		}
+		return "", false
+	}
+	if includeFacts {
+		if fn, isStatic := analysis.CalleeFunc(info, call); isStatic {
+			if via, sink := a.isSink(fn); sink {
+				return fmt.Sprintf("call to %s (%s)", fn.Name(), via), true
+			}
+		}
+	}
+	return "", false
+}
+
+// firstSinkEffect scans the whole body in source order for the first
+// output effect, which becomes the function's SinkFact via.
+func (a *analyzer) firstSinkEffect(body *ast.BlockStmt) string {
+	via := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if via != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if desc, isEffect := a.callEffect(s, body, true); isEffect {
+				via = desc
+			}
+		case *ast.SendStmt:
+			if !localTo(a.pass.TypesInfo, s.Chan, body) {
+				via = "send on " + types.ExprString(s.Chan)
+			}
+		}
+		return via == ""
+	})
+	return via
+}
+
+// orderedReturn scans returns: returning from inside a map range, or
+// returning a tainted value, makes the function's result map-ordered.
+func (a *analyzer) orderedReturn(body *ast.BlockStmt, mapRangeBodies map[*ast.BlockStmt]bool, tainted map[types.Object]bool) string {
+	src := ""
+	var rangeStack []*ast.BlockStmt
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if src != "" || n == nil {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			if mapRangeBodies[s] {
+				rangeStack = append(rangeStack, s)
+				for _, stmt := range s.List {
+					ast.Inspect(stmt, walk)
+				}
+				rangeStack = rangeStack[:len(rangeStack)-1]
+				return false
+			}
+		case *ast.FuncLit:
+			// A closure's returns are its own, not the enclosing
+			// function's.
+			return false
+		case *ast.ReturnStmt:
+			// Only results that mention tainted state are map-ordered:
+			// `return 1` inside a map range is still deterministic.
+			for _, res := range s.Results {
+				if a.exprOrdered(res, tainted) {
+					if len(rangeStack) > 0 {
+						src = "returns from inside range over map"
+					} else {
+						src = "returns a map-ordered value"
+					}
+					return false
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return src
+}
+
+// exprOrdered reports whether an expression's value carries map
+// iteration order: it mentions a tainted variable or calls an
+// OrderedFact function. len/cap of a tainted value are order-free.
+func (a *analyzer) exprOrdered(e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if obj := a.pass.TypesInfo.Uses[x]; obj != nil && tainted[obj] {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, isID := ast.Unparen(x.Fun).(*ast.Ident); isID && (id.Name == "len" || id.Name == "cap") {
+				if _, isBuiltin := a.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return false // len(v), cap(v): order-insensitive
+				}
+			}
+			if fn, isStatic := analysis.CalleeFunc(a.pass.TypesInfo, x); isStatic && a.isOrdered(fn) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rangeKind classifies a range statement as a nondeterministic-order
+// region: over a map, or over a map-ordered value. nil means ordered.
+func (a *analyzer) rangeKind(rng *ast.RangeStmt, tainted map[types.Object]bool) *regionKind {
+	k := regMapRange
+	if tv, found := a.pass.TypesInfo.Types[rng.X]; found && tv.Type != nil {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			return &k
+		}
+	}
+	if a.exprOrdered(rng.X, tainted) {
+		k = regOrderedRange
+		return &k
+	}
+	return nil
+}
+
+// syncMapRangeCallback recognizes m.Range(func(k, v any) bool {...}) on
+// a sync.Map and returns the callback literal (nil when the callback is
+// not a literal — the named callee is then checked as a region-less
+// sink by the caller's other rules).
+func syncMapRangeCallback(info *types.Info, call *ast.CallExpr) (*ast.FuncLit, bool) {
+	name, isMethod := analysis.MethodCallName(info, call)
+	if !isMethod || name != "Range" || len(call.Args) != 1 {
+		return nil, false
+	}
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	tv, found := info.Types[sel.X]
+	if !found || !analysis.IsNamedType(tv.Type, "sync", "Map") {
+		return nil, false
+	}
+	lit, isLit := ast.Unparen(call.Args[0]).(*ast.FuncLit)
+	if !isLit {
+		return nil, true
+	}
+	return lit, true
+}
+
+// localTo reports whether the storage an expression's root identifier
+// names is declared inside body — effects on it do not outlive the
+// function, so they are not sinks. Anything unresolvable is treated as
+// local (no finding) to keep the analyzer conservative.
+func localTo(info *types.Info, e ast.Expr, body *ast.BlockStmt) bool {
+	obj := rootObj(info, e)
+	if obj == nil {
+		return true
+	}
+	return body.Pos() <= obj.Pos() && obj.Pos() <= body.End()
+}
+
+// rootObj unwraps an expression to its base identifier's object:
+// x.f[i] → x, (&x) → x.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			// A package-qualified name (os.Stdout) roots at the global,
+			// not the package name.
+			if id, isID := x.X.(*ast.Ident); isID {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					if obj := info.Uses[x.Sel]; obj != nil {
+						return obj
+					}
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return nil
+		default:
+			return nil
+		}
+	}
+}

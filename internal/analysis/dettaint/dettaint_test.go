@@ -1,0 +1,35 @@
+package dettaint_test
+
+import (
+	"testing"
+
+	"spdier/internal/analysis/analysistest"
+	"spdier/internal/analysis/dettaint"
+)
+
+func TestGoldens(t *testing.T) {
+	analysistest.Run(t, dettaint.Analyzer, "dettaint")
+}
+
+func TestSuppression(t *testing.T) {
+	analysistest.RunSuppressed(t, dettaint.Analyzer, "dettaintallow")
+}
+
+// TestCrossPackageFacts proves both fact kinds flow across package
+// boundaries: SinkFact (Emit) and OrderedFact (Pick) are exported while
+// the helper package is analyzed and consumed analyzing dettaintx.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.RunWithDeps(t, dettaint.Analyzer, "dettaintx", "dettainthelper")
+}
+
+// TestLocalBufferIsNotASink guards the locality rule: writing a
+// function-local builder inside a map range is invisible outside the
+// function, so neither a finding nor a SinkFact should result — the
+// Sorted/PrintSorted goldens already pin the cleansing side.
+func TestLocalBufferIsNotASink(t *testing.T) {
+	pkgs := analysistest.LoadPackages(t, "dettaintlocal")
+	diags := analysistest.Diagnostics(t, dettaint.Analyzer, pkgs)
+	if len(diags) != 0 {
+		t.Fatalf("got %d diagnostics, want none: %v", len(diags), diags)
+	}
+}

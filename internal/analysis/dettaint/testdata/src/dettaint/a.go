@@ -1,0 +1,126 @@
+// Goldens for the dettaint analyzer: interprocedural ordering taint.
+// Direct fmt/writer effects inside a plain map range are deliberately
+// NOT findings here — those belong to maprange; dettaint owns what
+// maprange cannot see.
+package dettaint
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// emit acquires a SinkFact: it prints directly.
+func emit(s string) { fmt.Println(s) }
+
+// relay acquires a SinkFact transitively through emit.
+func relay(s string) { emit(s) }
+
+// Dump leaks map order through a call — invisible to a local check.
+func Dump(m map[string]int) {
+	for k := range m {
+		emit(k) // want `call to emit \(fmt\.Println\) inside range over map reaches an output sink`
+	}
+}
+
+// DumpDeep leaks through two hops.
+func DumpDeep(m map[string]int) {
+	for k := range m {
+		relay(k) // want `call to relay \(call to emit \(fmt\.Println\)\) inside range over map reaches an output sink`
+	}
+}
+
+// Sorted is the sanctioned idiom: collect, sort, then emit.
+func Sorted(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		emit(k)
+	}
+}
+
+// First returns the first key map iteration yields — an OrderedFact
+// source with no diagnostic of its own.
+func First(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// UseFirst lets the map-ordered value reach output outside any loop.
+func UseFirst(m map[string]int) {
+	k := First(m)
+	fmt.Println(k) // want `fmt\.Println receives a map-ordered value`
+}
+
+// Keys accumulates under a map range without sorting, so its result
+// carries iteration order.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// PrintAll ranges over the map-ordered result: direct effects count
+// here because maprange does not recognize this loop.
+func PrintAll(m map[string]int) {
+	for _, k := range Keys(m) {
+		fmt.Println(k) // want `fmt\.Println inside range over map-ordered value`
+	}
+}
+
+// PrintSorted cleanses the same result before iterating.
+func PrintSorted(m map[string]int) {
+	ks := Keys(m)
+	sort.Strings(ks)
+	for _, k := range ks {
+		fmt.Println(k)
+	}
+}
+
+// Moments stands in for a float accumulator whose fold order changes
+// the bits.
+type Moments struct{ n float64 }
+
+// Merge folds another accumulator in.
+func (m *Moments) Merge(o Moments) { m.n += o.n }
+
+// Fold merges shards in map order — order-sensitive even though no
+// output happens inside the loop.
+func Fold(agg *Moments, shards map[string]Moments) {
+	for _, s := range shards {
+		agg.Merge(s) // want `agg\.Merge inside range over map folds accumulator state in nondeterministic order`
+	}
+}
+
+// Race lets the runtime pick a winner.
+func Race(a, b chan int) int {
+	select { // want `select with 2 cases resolves nondeterministically`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// DumpSync iterates a sync.Map, whose traversal order is unspecified.
+func DumpSync(m *sync.Map) {
+	m.Range(func(k, v any) bool {
+		fmt.Println(k) // want `fmt\.Println inside sync\.Map\.Range callback`
+		return true
+	})
+}
+
+// SendAll forwards map-ordered values on an outer channel — a send is
+// an observable effect in the regions maprange cannot see.
+func SendAll(m map[string]int, ch chan string) {
+	for _, k := range Keys(m) {
+		ch <- k // want `send on ch inside range over map-ordered value`
+	}
+}

@@ -1,0 +1,22 @@
+// The importing side of the cross-package taint test: every finding
+// here depends on a fact exported while dettainthelper was analyzed.
+package dettaintx
+
+import (
+	"fmt"
+
+	"dettainthelper"
+)
+
+// Dump reaches a sink through an imported function.
+func Dump(m map[string]int) {
+	for k := range m {
+		dettainthelper.Emit(k) // want `call to Emit \(fmt\.Println\) inside range over map reaches an output sink`
+	}
+}
+
+// UsePick receives map-ordered data from an imported function.
+func UsePick(m map[string]int) {
+	k := dettainthelper.Pick(m)
+	fmt.Println(k) // want `fmt\.Println receives a map-ordered value`
+}

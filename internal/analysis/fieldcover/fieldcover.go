@@ -1,0 +1,635 @@
+// Package fieldcover enforces struct↔mapping-function coverage: every
+// field of a policy-designated struct must be read (or, for decode
+// directions, written) by its mapping function, so that adding a field
+// without wiring it through the mapping is a lint failure rather than a
+// silent bug. This is the static pin under the repo's three
+// hand-maintained serializations — the Options cache key (a missed
+// field lets two different configurations share one cache entry), the
+// accumulator codecs (decode∘encode is only the identity if both
+// directions touch every field), and transport.Spec.Apply (a missed
+// field means an experiment arm silently doesn't configure what it
+// claims to measure).
+//
+// Coverage is computed from the mapping function's own body (the
+// default: the invariant is "THIS function touches every field", so a
+// read in some callee does not excuse the mapping) or, for rules marked
+// transitive, from the function's call-graph closure — same-package
+// callees by walking their bodies, cross-package callees through
+// AccessFacts exported when their package was analyzed.
+//
+// Rules come from two sources: the driver's policy table (simlint), and
+// in-source directives in the struct's doc comment:
+//
+//	//lint:fieldcover read=CacheKey write=Dec.Decode transitive
+//	type Options struct { ... }
+//
+// Each function listed under read= must read every field; each under
+// write= must write every field; `transitive` extends all of the
+// directive's rules to callees. Deliberately unmapped fields carry a
+// //lint:allow fieldcover <reason> on their declaration line.
+package fieldcover
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"spdier/internal/analysis"
+)
+
+// Direction says which kind of field access a rule demands.
+type Direction int
+
+const (
+	// Read requires every field to be read by the mapping (encode/key
+	// directions).
+	Read Direction = iota
+	// Write requires every field to be written by the mapping (decode
+	// directions).
+	Write
+)
+
+func (d Direction) verb() string {
+	if d == Write {
+		return "written"
+	}
+	return "read"
+}
+
+// Rule pins one (struct, mapping function) pair.
+type Rule struct {
+	// Pkg is the import path of the package declaring the mapping
+	// function; the rule activates when that package is analyzed.
+	Pkg string
+	// StructPkg is the import path declaring the struct; empty means
+	// the struct lives in Pkg too.
+	StructPkg string
+	// Struct is the struct type's name.
+	Struct string
+	// Func names the mapping: "Name" or "Type.Method".
+	Func string
+	// Direction selects read or write coverage.
+	Direction Direction
+	// Transitive extends coverage to the function's callees (same
+	// package by body walk, cross package through AccessFacts).
+	Transitive bool
+
+	// pos anchors diagnostics about the rule itself (a directive's
+	// struct); zero for policy-table rules.
+	pos token.Pos
+}
+
+// AccessFact is the per-function fact fieldcover exports: which
+// named-struct fields the function (including its callees) reads and
+// writes, keyed by "importpath.StructName". Dependent packages import
+// it to resolve transitive coverage through cross-package calls.
+type AccessFact struct {
+	Reads  map[string][]string `json:"reads,omitempty"`
+	Writes map[string][]string `json:"writes,omitempty"`
+}
+
+// AFact marks AccessFact as an analyzer fact.
+func (*AccessFact) AFact() {}
+
+// New returns a fieldcover analyzer enforcing the given policy rules in
+// addition to any //lint:fieldcover directives found in source.
+func New(rules []Rule) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "fieldcover",
+		Doc: "require every field of a policy-designated struct to be read (or written) by its mapping " +
+			"function — cache keys, codecs and Spec.Apply must cover new fields or explicitly allow them",
+		FactTypes: []analysis.Fact{&AccessFact{}},
+		Run:       func(pass *analysis.Pass) error { return run(pass, rules) },
+	}
+}
+
+// Analyzer enforces //lint:fieldcover directives only; drivers with a
+// policy table use New.
+var Analyzer = New(nil)
+
+const directive = "//lint:fieldcover"
+
+// structKey identifies a named struct type across packages.
+type structKey struct {
+	pkg  string
+	name string
+}
+
+func (k structKey) String() string { return k.pkg + "." + k.name }
+
+// accessSet is what one function body touches: fields read and written
+// per struct, plus statically resolved callees.
+type accessSet struct {
+	reads   map[structKey]map[string]bool
+	writes  map[structKey]map[string]bool
+	calls   map[*types.Func]bool
+	declPos token.Pos
+}
+
+func newAccessSet(pos token.Pos) *accessSet {
+	return &accessSet{
+		reads:   map[structKey]map[string]bool{},
+		writes:  map[structKey]map[string]bool{},
+		calls:   map[*types.Func]bool{},
+		declPos: pos,
+	}
+}
+
+func mark(m map[structKey]map[string]bool, k structKey, field string) {
+	if m[k] == nil {
+		m[k] = map[string]bool{}
+	}
+	m[k][field] = true
+}
+
+// merge folds other's accesses (not its callees) into s, reporting
+// whether anything new appeared.
+func (s *accessSet) merge(other *accessSet) bool {
+	changed := false
+	for _, pair := range [2]struct{ dst, src map[structKey]map[string]bool }{
+		{s.reads, other.reads}, {s.writes, other.writes},
+	} {
+		for k, fields := range pair.src {
+			for f := range fields {
+				if !pair.dst[k][f] {
+					mark(pair.dst, k, f)
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// mergeFact folds an imported cross-package AccessFact into s.
+func (s *accessSet) mergeFact(f *AccessFact) {
+	for key, fields := range f.Reads {
+		if k, ok := parseStructKey(key); ok {
+			for _, field := range fields {
+				mark(s.reads, k, field)
+			}
+		}
+	}
+	for key, fields := range f.Writes {
+		if k, ok := parseStructKey(key); ok {
+			for _, field := range fields {
+				mark(s.writes, k, field)
+			}
+		}
+	}
+}
+
+// parseStructKey splits "importpath.Struct" at the last dot (import
+// paths may themselves contain dots; type names cannot).
+func parseStructKey(s string) (structKey, bool) {
+	i := strings.LastIndexByte(s, '.')
+	if i <= 0 || i == len(s)-1 {
+		return structKey{}, false
+	}
+	return structKey{pkg: s[:i], name: s[i+1:]}, true
+}
+
+func factOf(s *accessSet) *AccessFact {
+	f := &AccessFact{}
+	if len(s.reads) > 0 {
+		f.Reads = map[string][]string{}
+		for k, fields := range s.reads {
+			f.Reads[k.String()] = sortedKeys(fields)
+		}
+	}
+	if len(s.writes) > 0 {
+		f.Writes = map[string][]string{}
+		for k, fields := range s.writes {
+			f.Writes[k.String()] = sortedKeys(fields)
+		}
+	}
+	return f
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func run(pass *analysis.Pass, policy []Rule) error {
+	own := collectPackage(pass)
+	closed := closePackage(pass, own)
+	for fn, set := range closed {
+		if len(set.reads) > 0 || len(set.writes) > 0 {
+			pass.ExportObjectFact(fn, factOf(set))
+		}
+	}
+	rules := directiveRules(pass)
+	for _, r := range policy {
+		if r.Pkg == pass.Pkg.Path() {
+			rules = append(rules, r)
+		}
+	}
+	for _, r := range rules {
+		checkRule(pass, r, own, closed)
+	}
+	return nil
+}
+
+// collectPackage computes the direct access set of every function
+// declared with a body in the package.
+func collectPackage(pass *analysis.Pass) map[*types.Func]*accessSet {
+	out := map[*types.Func]*accessSet{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			fn, isFn := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !isFn {
+				continue
+			}
+			set := newAccessSet(fd.Name.Pos())
+			collectBody(pass, fd.Body, set)
+			out[fn] = set
+		}
+	}
+	return out
+}
+
+// collectBody walks one function body classifying every named-struct
+// field access as a read, a write, or both.
+func collectBody(pass *analysis.Pass, body *ast.BlockStmt, set *accessSet) {
+	// First pass: find selector expressions in write positions. A plain
+	// assignment LHS is a pure write; everything else that mutates
+	// (op-assign, ++/--, &x.F escaping, x.F[i] = v) also reads.
+	pureWrite := map[*ast.SelectorExpr]bool{}
+	writeAlso := map[*ast.SelectorExpr]bool{}
+	markTarget := func(e ast.Expr, pure bool) {
+		if sel, isSel := ast.Unparen(e).(*ast.SelectorExpr); isSel {
+			if pure {
+				pureWrite[sel] = true
+			} else {
+				writeAlso[sel] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				target := ast.Unparen(lhs)
+				markTarget(target, s.Tok == token.ASSIGN || s.Tok == token.DEFINE)
+				if idx, isIdx := target.(*ast.IndexExpr); isIdx {
+					// x.F[i] = v mutates F's contents and reads its header.
+					markTarget(idx.X, false)
+				}
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				// &x.F escapes: the callee may both read and write it.
+				markTarget(s.X, false)
+			}
+		case *ast.IncDecStmt:
+			markTarget(s.X, false)
+		}
+		return true
+	})
+
+	// Second pass: record field selections, composite-literal writes and
+	// static callees.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			sel, found := pass.TypesInfo.Selections[e]
+			if !found || sel.Kind() != types.FieldVal {
+				return true
+			}
+			key, ok := structKeyOf(sel.Recv())
+			if !ok {
+				return true
+			}
+			field := e.Sel.Name
+			switch {
+			case pureWrite[e]:
+				mark(set.writes, key, field)
+			case writeAlso[e]:
+				mark(set.reads, key, field)
+				mark(set.writes, key, field)
+			default:
+				mark(set.reads, key, field)
+			}
+		case *ast.CompositeLit:
+			collectCompositeLit(pass, e, set)
+		case *ast.CallExpr:
+			if fn, ok := analysis.CalleeFunc(pass.TypesInfo, e); ok {
+				set.calls[fn] = true
+			}
+		}
+		return true
+	})
+}
+
+// collectCompositeLit records a struct literal as writes: keyed elements
+// write the named fields, an unkeyed literal writes all of them.
+func collectCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit, set *accessSet) {
+	tv, found := pass.TypesInfo.Types[lit]
+	if !found {
+		return
+	}
+	key, ok := structKeyOf(tv.Type)
+	if !ok {
+		return
+	}
+	st, isStruct := tv.Type.Underlying().(*types.Struct)
+	if !isStruct || len(lit.Elts) == 0 {
+		return
+	}
+	keyed := false
+	for _, elt := range lit.Elts {
+		if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+			keyed = true
+			if id, isID := kv.Key.(*ast.Ident); isID {
+				mark(set.writes, key, id.Name)
+			}
+		}
+	}
+	if !keyed {
+		// An unkeyed literal must list every field in order.
+		for i := 0; i < st.NumFields(); i++ {
+			mark(set.writes, key, st.Field(i).Name())
+		}
+	}
+}
+
+// structKeyOf names the struct type behind t (after pointer
+// indirection); ok is false for unnamed or package-less types.
+func structKeyOf(t types.Type) (structKey, bool) {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return structKey{}, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return structKey{}, false
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return structKey{}, false
+	}
+	return structKey{pkg: obj.Pkg().Path(), name: obj.Name()}, true
+}
+
+// closePackage computes each function's transitive access set:
+// same-package callees by in-package fixpoint, cross-package callees
+// through imported AccessFacts.
+func closePackage(pass *analysis.Pass, own map[*types.Func]*accessSet) map[*types.Func]*accessSet {
+	closed := map[*types.Func]*accessSet{}
+	for fn, set := range own {
+		c := newAccessSet(set.declPos)
+		c.merge(set)
+		for callee := range set.calls {
+			c.calls[callee] = true
+			if callee.Pkg() != nil && callee.Pkg() != pass.Pkg {
+				var f AccessFact
+				if pass.ImportObjectFact(callee, &f) {
+					c.mergeFact(&f)
+				}
+			}
+		}
+		closed[fn] = c
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range closed {
+			for callee := range closed[fn].calls {
+				if cs, ok := closed[callee]; ok && callee != fn {
+					if closed[fn].merge(cs) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return closed
+}
+
+// directiveRules parses //lint:fieldcover lines from struct doc
+// comments into rules scoped to this package, reporting malformed
+// directives at the struct they document.
+func directiveRules(pass *analysis.Pass) []Rule {
+	var rules []Rule
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, isGen := decl.(*ast.GenDecl)
+			if !isGen || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, isType := spec.(*ast.TypeSpec)
+				if !isType {
+					continue
+				}
+				if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+					continue
+				}
+				for _, doc := range []*ast.CommentGroup{gd.Doc, ts.Doc} {
+					if doc == nil {
+						continue
+					}
+					for _, c := range doc.List {
+						if !strings.HasPrefix(c.Text, directive) {
+							continue
+						}
+						rest := strings.TrimPrefix(c.Text, directive)
+						if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+							continue
+						}
+						rules = append(rules, parseDirective(pass, ts, rest)...)
+					}
+				}
+			}
+		}
+	}
+	return rules
+}
+
+// parseDirective turns one directive body into rules for the struct it
+// documents. Grammar: read=F1,F2 write=F3 [transitive].
+func parseDirective(pass *analysis.Pass, ts *ast.TypeSpec, body string) []Rule {
+	var reads, writes []string
+	transitive := false
+	bad := func(why string) []Rule {
+		pass.Reportf(ts.Name.Pos(), "malformed %s directive on %s: %s", directive, ts.Name.Name, why)
+		return nil
+	}
+	for _, tok := range strings.Fields(body) {
+		switch {
+		case tok == "transitive":
+			transitive = true
+		case strings.HasPrefix(tok, "read="):
+			reads = append(reads, strings.Split(tok[len("read="):], ",")...)
+		case strings.HasPrefix(tok, "write="):
+			writes = append(writes, strings.Split(tok[len("write="):], ",")...)
+		default:
+			return bad("unknown token " + tok + " (want read=..., write=..., transitive)")
+		}
+	}
+	if len(reads) == 0 && len(writes) == 0 {
+		return bad("needs at least one read= or write= mapping function")
+	}
+	var rules []Rule
+	for _, fn := range reads {
+		rules = append(rules, Rule{Pkg: pass.Pkg.Path(), Struct: ts.Name.Name, Func: fn, Direction: Read, Transitive: transitive, pos: ts.Name.Pos()})
+	}
+	for _, fn := range writes {
+		rules = append(rules, Rule{Pkg: pass.Pkg.Path(), Struct: ts.Name.Name, Func: fn, Direction: Write, Transitive: transitive, pos: ts.Name.Pos()})
+	}
+	return rules
+}
+
+// lookupFunc resolves "Name" or "Type.Method" in pkg's scope.
+func lookupFunc(pkg *types.Package, name string) *types.Func {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		obj := pkg.Scope().Lookup(name[:i])
+		if obj == nil {
+			return nil
+		}
+		named, isNamed := obj.Type().(*types.Named)
+		if !isNamed {
+			return nil
+		}
+		for m := 0; m < named.NumMethods(); m++ {
+			if named.Method(m).Name() == name[i+1:] {
+				return named.Method(m)
+			}
+		}
+		return nil
+	}
+	if fn, isFn := pkg.Scope().Lookup(name).(*types.Func); isFn {
+		return fn
+	}
+	return nil
+}
+
+// resolveStruct finds the named struct type, in this package or among
+// its imports.
+func resolveStruct(pass *analysis.Pass, pkgPath, name string) (*types.Struct, *types.TypeName) {
+	scope := pass.Pkg.Scope()
+	if pkgPath != pass.Pkg.Path() {
+		scope = nil
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Path() == pkgPath {
+				scope = imp.Scope()
+				break
+			}
+		}
+		if scope == nil {
+			return nil, nil
+		}
+	}
+	tn, isTN := scope.Lookup(name).(*types.TypeName)
+	if !isTN {
+		return nil, nil
+	}
+	st, isStruct := tn.Type().Underlying().(*types.Struct)
+	if !isStruct {
+		return nil, nil
+	}
+	return st, tn
+}
+
+// checkRule verifies one rule, reporting every uncovered field — at its
+// declaration when the struct is in this package (so //lint:allow
+// fieldcover can sit on the field), at the mapping function otherwise.
+func checkRule(pass *analysis.Pass, r Rule, own, closed map[*types.Func]*accessSet) {
+	structPkg := r.StructPkg
+	if structPkg == "" {
+		structPkg = r.Pkg
+	}
+	misconfigured := func(why string) {
+		pos := r.pos
+		if pos == token.NoPos && len(pass.Files) > 0 {
+			pos = pass.Files[0].Name.Pos()
+		}
+		pass.Reportf(pos, "fieldcover rule %s.%s↔%s: %s", structPkg, r.Struct, r.Func, why)
+	}
+	st, stObj := resolveStruct(pass, structPkg, r.Struct)
+	if st == nil {
+		misconfigured("struct not found")
+		return
+	}
+	fn := lookupFunc(pass.Pkg, r.Func)
+	if fn == nil {
+		misconfigured("mapping function not found")
+		return
+	}
+	sets := own
+	if r.Transitive {
+		sets = closed
+	}
+	set := sets[fn]
+	if set == nil {
+		misconfigured("mapping function has no body in this package")
+		return
+	}
+	key := structKey{pkg: structPkg, name: r.Struct}
+	covered := set.reads[key]
+	if r.Direction == Write {
+		covered = set.writes[key]
+	}
+	scope := ""
+	if r.Transitive {
+		scope = " or its callees"
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "_" || covered[f.Name()] {
+			continue
+		}
+		pos := fieldPos(pass, stObj, f.Name())
+		if pos == token.NoPos {
+			pos = set.declPos
+		}
+		pass.Reportf(pos, "%s.%s is not %s by %s%s — wire the field through the mapping or add //lint:allow fieldcover <reason>",
+			r.Struct, f.Name(), r.Direction.verb(), r.Func, scope)
+	}
+}
+
+// fieldPos finds the declaration position of a field of a struct
+// declared in this package; NoPos when the struct's AST isn't here.
+func fieldPos(pass *analysis.Pass, tn *types.TypeName, field string) token.Pos {
+	if tn == nil || tn.Pkg() != pass.Pkg {
+		return token.NoPos
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, isGen := decl.(*ast.GenDecl)
+			if !isGen || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, isType := spec.(*ast.TypeSpec)
+				if !isType || pass.TypesInfo.Defs[ts.Name] != tn {
+					continue
+				}
+				stType, isStruct := ts.Type.(*ast.StructType)
+				if !isStruct {
+					continue
+				}
+				for _, f := range stType.Fields.List {
+					for _, name := range f.Names {
+						if name.Name == field {
+							return name.Pos()
+						}
+					}
+				}
+			}
+		}
+	}
+	return token.NoPos
+}

@@ -1,0 +1,68 @@
+package fieldcover_test
+
+import (
+	"testing"
+
+	"spdier/internal/analysis/analysistest"
+	"spdier/internal/analysis/fieldcover"
+)
+
+func TestDirectiveGoldens(t *testing.T) {
+	analysistest.Run(t, fieldcover.Analyzer, "fieldcover")
+}
+
+func TestSuppression(t *testing.T) {
+	analysistest.RunSuppressed(t, fieldcover.Analyzer, "fieldcoverallow")
+}
+
+// TestCrossPackageFacts drives a policy rule whose struct lives in a
+// dependency: coverage of Wire.A is only visible through the AccessFact
+// exported while analyzing fieldcoverdep, so a failure here means facts
+// stopped flowing across package boundaries.
+func TestCrossPackageFacts(t *testing.T) {
+	a := fieldcover.New([]fieldcover.Rule{{
+		Pkg:        "fieldcoverx",
+		StructPkg:  "fieldcoverdep",
+		Struct:     "Wire",
+		Func:       "Encode",
+		Direction:  fieldcover.Read,
+		Transitive: true,
+	}})
+	analysistest.RunWithDeps(t, a, "fieldcoverx", "fieldcoverdep")
+}
+
+// TestCrossPackageWithoutTransitive proves the direct/transitive
+// distinction across packages too: the same rule without Transitive
+// must flag A (covered only via the dep call) as well as C.
+func TestCrossPackageWithoutTransitive(t *testing.T) {
+	a := fieldcover.New([]fieldcover.Rule{{
+		Pkg:       "fieldcoverx",
+		StructPkg: "fieldcoverdep",
+		Struct:    "Wire",
+		Func:      "Encode",
+		Direction: fieldcover.Read,
+	}})
+	pkgs := analysistest.LoadPackages(t, "fieldcoverx", "fieldcoverdep")
+	diags := analysistest.Diagnostics(t, a, pkgs)
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Message)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics %q, want 2 (A and C uncovered without transitive closure)", len(diags), msgs)
+	}
+	for i, field := range []string{"Wire.A", "Wire.C"} {
+		if got := diags[i].Message; !contains(got, field+" is not read by Encode") {
+			t.Errorf("diag %d = %q, want %s uncovered", i, got, field)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+// Suppression corpus: a //lint:allow fieldcover with a reason silences
+// the finding on a deliberately unmapped field; uncovered fields
+// without one still fire.
+package fieldcoverallow
+
+//lint:fieldcover read=Enc
+type Rec struct {
+	A int
+	//lint:allow fieldcover derived at load time, never serialized
+	B int
+	C int // want `Rec\.C is not read by Enc`
+}
+
+// Enc reads only A.
+func Enc(r Rec) int { return r.A }

@@ -1,0 +1,14 @@
+// The dependency side of the cross-package coverage test: declares the
+// struct and an exported helper whose field accesses travel to
+// dependents as an AccessFact.
+package fieldcoverdep
+
+// Wire is mapped by a function in the dependent package fieldcoverx.
+type Wire struct {
+	A int
+	B int
+	C int
+}
+
+// ReadA reads Wire.A on behalf of callers in other packages.
+func ReadA(w Wire) int { return w.A }

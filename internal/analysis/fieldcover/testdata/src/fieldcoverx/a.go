@@ -1,0 +1,13 @@
+// The dependent side of the cross-package coverage test: Encode covers
+// Wire.A only through fieldcoverdep.ReadA — visible solely via the
+// AccessFact exported when fieldcoverdep was analyzed — and misses
+// Wire.C entirely. The struct lives in another package, so the finding
+// anchors to the mapping function.
+package fieldcoverx
+
+import "fieldcoverdep"
+
+// Encode reads B directly and A through the dep helper; C is uncovered.
+func Encode(w fieldcoverdep.Wire) int { // want `Wire\.C is not read by Encode or its callees`
+	return fieldcoverdep.ReadA(w) + w.B
+}

@@ -41,6 +41,31 @@ func MethodCallName(info *types.Info, call *ast.CallExpr) (name string, ok bool)
 	return "", false
 }
 
+// CalleeFunc resolves the function or method a call statically invokes:
+// a plain identifier (local or dot-imported function), a
+// package-qualified function, or a method on a value. ok is false for
+// calls through function values, interface methods resolved
+// dynamically, builtins and type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, isFn := info.Uses[fun].(*types.Func); isFn {
+			return fn, true
+		}
+	case *ast.SelectorExpr:
+		if sel, found := info.Selections[fun]; found && sel.Kind() == types.MethodVal {
+			if fn, isFn := sel.Obj().(*types.Func); isFn {
+				return fn, true
+			}
+			return nil, false
+		}
+		if fn, isFn := info.Uses[fun.Sel].(*types.Func); isFn {
+			return fn, true
+		}
+	}
+	return nil, false
+}
+
 // IsNamedType reports whether t (after pointer indirection) is the
 // named type pkgPath.name.
 func IsNamedType(t types.Type, pkgPath, name string) bool {

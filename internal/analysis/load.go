@@ -196,20 +196,64 @@ func TypeCheck(fset *token.FileSet, imp types.Importer, importPath, dir string, 
 // shelling out to `go list -export` from moduleRoot. The directory's
 // files must all belong to one package.
 func LoadDir(dir, moduleRoot string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
+	pkgs, err := LoadDirs(moduleRoot, []string{dir}, map[string]string{dir: dir})
 	if err != nil {
 		return nil, err
 	}
-	var files []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			files = append(files, filepath.Join(dir, e.Name()))
-		}
+	return pkgs[0], nil
+}
+
+// sourceImporter resolves a fixed set of import paths to packages
+// already type-checked from source, delegating everything else (stdlib,
+// module packages) to a fallback export-data importer. It is what lets
+// one fixture directory import another without either being listable.
+type sourceImporter struct {
+	pkgs     map[string]*types.Package
+	fallback types.Importer
+}
+
+func (si *sourceImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.pkgs[path]; ok {
+		return p, nil
 	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("no Go files in %s", dir)
-	}
+	return si.fallback.Import(path)
+}
+
+// LoadDirs type-checks a set of bare fixture directories in the given
+// order. order lists import paths; dirs maps each to its directory.
+// Later entries may import earlier ones by their import-path key
+// (mirroring the analysistest GOPATH-style layout, where
+// testdata/src/dep is imported as "dep"); all other imports resolve
+// through `go list -export` from moduleRoot.
+func LoadDirs(moduleRoot string, order []string, dirs map[string]string) ([]*Package, error) {
 	fset := token.NewFileSet()
 	lookup := NewExportLookup(nil, nil, true, moduleRoot)
-	return TypeCheck(fset, lookup.Importer(fset), dir, dir, files)
+	si := &sourceImporter{pkgs: map[string]*types.Package{}, fallback: lookup.Importer(fset)}
+	var pkgs []*Package
+	for _, path := range order {
+		dir, ok := dirs[path]
+		if !ok {
+			return nil, fmt.Errorf("no directory given for %s", path)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var files []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				files = append(files, filepath.Join(dir, e.Name()))
+			}
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no Go files in %s", dir)
+		}
+		pkg, err := TypeCheck(fset, si, path, dir, files)
+		if err != nil {
+			return nil, err
+		}
+		si.pkgs[path] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
 }

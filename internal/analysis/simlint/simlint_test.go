@@ -49,7 +49,7 @@ func TestForPackagePolicy(t *testing.T) {
 	}
 
 	sim := names("spdier/internal/sim")
-	for _, want := range []string{"wallclock", "globalrand", "maprange", "poolbalance", "clockarith", "shadow"} {
+	for _, want := range []string{"wallclock", "globalrand", "maprange", "poolbalance", "clockarith", "shadow", "fieldcover", "dettaint"} {
 		if !sim[want] {
 			t.Errorf("spdier/internal/sim: missing analyzer %s", want)
 		}
@@ -73,5 +73,41 @@ func TestForPackagePolicy(t *testing.T) {
 
 	if as := names("fmt"); len(as) != 0 {
 		t.Errorf("packages outside the module must get no analyzers, got %v", as)
+	}
+}
+
+// TestDettaintScoping pins the mute-for-facts policy: dettaint runs
+// module-wide so its facts exist everywhere, but its reporting filter
+// rejects every file outside the deterministic set (and all but the
+// worker-side files inside fabric).
+func TestDettaintScoping(t *testing.T) {
+	filterFor := func(importPath string) (func(string) bool, bool) {
+		as, filters := simlint.ForPackage(importPath)
+		for _, a := range as {
+			if a.Name == "dettaint" {
+				f, has := filters["dettaint"]
+				return f, has
+			}
+		}
+		t.Fatalf("%s: dettaint not in suite", importPath)
+		return nil, false
+	}
+
+	if f, has := filterFor("spdier/internal/experiment"); has && f != nil {
+		t.Errorf("experiment: dettaint must report unfiltered in the deterministic set")
+	}
+	f, has := filterFor("spdier/internal/liveproxy")
+	if !has || f == nil {
+		t.Fatalf("liveproxy: dettaint must be muted outside the deterministic set")
+	}
+	if f("proxy.go") {
+		t.Errorf("liveproxy: dettaint filter must reject every file (facts only)")
+	}
+	f, has = filterFor("spdier/internal/fabric")
+	if !has || f == nil {
+		t.Fatalf("fabric: dettaint must be file-scoped")
+	}
+	if !f("worker.go") || f("coordinator.go") {
+		t.Errorf("fabric: dettaint must report in worker.go but not coordinator.go")
 	}
 }

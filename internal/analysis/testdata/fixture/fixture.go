@@ -1,8 +1,8 @@
 // Package fixture is a seeded violation corpus: exactly one finding per
 // analyzer in the suite. The simlint acceptance test (and CI) runs the
-// full suite over this directory and requires all six findings — if an
-// analyzer regresses into silence, that test fails before any real
-// violation can slip through unnoticed.
+// full suite over this directory and requires one finding per analyzer
+// — if an analyzer regresses into silence, that test fails before any
+// real violation can slip through unnoticed.
 package fixture
 
 import (
@@ -40,4 +40,27 @@ func violations(m map[string]int, rtt time.Duration) (time.Time, error) {
 	}
 	_ = grab()
 	return start, err
+}
+
+// knob's directive demands cacheKeyOf read every field; cold is left
+// out: the fieldcover gap finding.
+//
+//lint:fieldcover read=cacheKeyOf
+type knob struct {
+	warm int
+	cold int
+}
+
+func cacheKeyOf(k knob) int { return k.warm }
+
+// emitKey prints — so it carries a SinkFact — without being one of the
+// output calls maprange recognizes locally.
+func emitKey(k string) { fmt.Println(k) }
+
+// leakOrder reaches that sink once per map entry: the dettaint
+// interprocedural finding (and, deliberately, not a maprange one).
+func leakOrder(m map[string]bool) {
+	for k := range m {
+		emitKey(k)
+	}
 }

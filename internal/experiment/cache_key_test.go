@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"spdier/internal/browser"
+	"spdier/internal/netem"
+	"spdier/internal/webpage"
+)
+
+// TestCacheKeySeparatesEveryField is the runtime twin of the fieldcover
+// rule on (Options, CacheKey): for every Options field there must be a
+// perturbation under which the cache key changes — otherwise two
+// different configurations would replay each other's Results. The
+// perturbation table is keyed by field name and the test fails on any
+// Options field without an entry, so adding a field forces a decision
+// here as well as in CacheKey itself.
+func TestCacheKeySeparatesEveryField(t *testing.T) {
+	perturb := map[string]func(*Options){
+		"Network":               func(o *Options) { o.Network = NetworkKind("perturbed") },
+		"Mode":                  func(o *Options) { o.Mode = browser.Mode("perturbed") },
+		"Seed":                  func(o *Options) { o.Seed = 987654321 },
+		"Sites":                 func(o *Options) { o.Sites = []webpage.SiteSpec{{Index: 99, Category: "perturbed"}} },
+		"Pages":                 func(o *Options) { o.Pages = []*webpage.Page{{}} },
+		"ThinkTime":             func(o *Options) { o.ThinkTime = time.Nanosecond },
+		"PingKeepalive":         func(o *Options) { o.PingKeepalive = true },
+		"PingInterval":          func(o *Options) { o.PingInterval = time.Nanosecond },
+		"PingBytes":             func(o *Options) { o.PingBytes = 7 },
+		"SlowStartAfterIdleOff": func(o *Options) { o.SlowStartAfterIdleOff = true },
+		"ResetRTTAfterIdle":     func(o *Options) { o.ResetRTTAfterIdle = true },
+		"CC":                    func(o *Options) { o.CC = "perturbed" },
+		"NoMetricsCache":        func(o *Options) { o.NoMetricsCache = true },
+		"SPDYSessions":          func(o *Options) { o.SPDYSessions = 9 },
+		"SPDYLateBinding":       func(o *Options) { o.SPDYLateBinding = true },
+		"Pipelining":            func(o *Options) { o.Pipelining = true },
+		"NoBeacons":             func(o *Options) { o.NoBeacons = true },
+		"FastOrigin":            func(o *Options) { o.FastOrigin = true },
+		"DisableUndo":           func(o *Options) { o.DisableUndo = true },
+		"TLP":                   func(o *Options) { o.TLP = true },
+		"RACK":                  func(o *Options) { o.RACK = true },
+		"FRTO":                  func(o *Options) { o.FRTO = true },
+		"H2EqualFraming":        func(o *Options) { o.H2EqualFraming = true },
+		"QUICNo0RTT":            func(o *Options) { o.QUICNo0RTT = true },
+		"Impair":                func(o *Options) { o.Impair = netem.Impairments{ReorderProb: 0.5} },
+		"ExtraLatency":          func(o *Options) { o.ExtraLatency = time.Nanosecond },
+		// 1 collides with 0 by design (both mean "unscaled"), so the
+		// separating perturbation must be a real scale.
+		"PromotionScale": func(o *Options) { o.PromotionScale = 2 },
+		"NoLinkLoss":     func(o *Options) { o.NoLinkLoss = true },
+		"SampleEvery":    func(o *Options) { o.SampleEvery = time.Nanosecond },
+		"ProbeStride":    func(o *Options) { o.ProbeStride = 1 },
+		"LeanProbe":      func(o *Options) { o.LeanProbe = true },
+	}
+
+	baseKey, ok := CacheKey(Options{})
+	if !ok {
+		t.Fatal("zero Options must be memoizable")
+	}
+
+	typ := reflect.TypeOf(Options{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		fn, covered := perturb[name]
+		if !covered {
+			t.Errorf("Options.%s has no perturbation here: decide how it separates cache keys (and wire it through CacheKey)", name)
+			continue
+		}
+		var o Options
+		fn(&o)
+		key, ok := CacheKey(o)
+		if name == "Pages" {
+			if ok {
+				t.Error("Options.Pages: page-configured runs have no canonical key and must never be memoized")
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("Options.%s: perturbed Options must still be memoizable", name)
+			continue
+		}
+		if key == baseKey {
+			t.Errorf("Options.%s: perturbation did not change the cache key — two different configurations would share one cache entry", name)
+		}
+	}
+
+	// The deliberate canonicalizations must survive: a zero and a unit
+	// PromotionScale run the same simulation and must share a key.
+	unit := Options{PromotionScale: 1}
+	if key, ok := CacheKey(unit); !ok || key != baseKey {
+		t.Errorf("PromotionScale=1 must share the unscaled key (got ok=%t, equal=%t)", ok, key == baseKey)
+	}
+}

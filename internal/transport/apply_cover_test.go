@@ -1,0 +1,55 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+
+	"spdier/internal/tcpsim"
+)
+
+type sinkProbe struct{}
+
+func (sinkProbe) Sample(tcpsim.ProbeSample) {}
+
+// TestApplyCoversEverySpecField is the runtime twin of the transitive
+// fieldcover rule on (Spec, Apply): every Spec field except Kind must
+// change the composed Config under some perturbation, so an arm that
+// sets a field is guaranteed to configure what it claims to measure.
+// Kind is exempt by policy (it selects client/session machinery, not a
+// Config knob) — the same exemption the //lint:allow on the field
+// records. A new Spec field fails this test until a perturbation (and a
+// Layers entry) exists for it.
+func TestApplyCoversEverySpecField(t *testing.T) {
+	perturb := map[string]func(*Spec){
+		"Kind":               nil, // exempt: not a Config knob
+		"CC":                 func(s *Spec) { s.CC = "reno" },
+		"Recovery":           func(s *Spec) { s.Recovery = tcpsim.RecoveryPolicy{TLP: true, RACK: true, FRTO: true} },
+		"SlowStartAfterIdle": func(s *Spec) { s.SlowStartAfterIdle = true },
+		"ResetRTTAfterIdle":  func(s *Spec) { s.ResetRTTAfterIdle = true },
+		"DisableUndo":        func(s *Spec) { s.DisableUndo = true },
+		"ZeroRTT":            func(s *Spec) { s.ZeroRTT = true },
+		"Metrics":            func(s *Spec) { s.Metrics = tcpsim.NewMetricsCache() },
+		"Probe":              func(s *Spec) { s.Probe = sinkProbe{} },
+	}
+
+	base := tcpsim.Config{}
+	zero := Spec{}.Apply(base)
+
+	typ := reflect.TypeOf(Spec{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		fn, covered := perturb[name]
+		if !covered {
+			t.Errorf("Spec.%s has no perturbation here: decide how Apply composes it (and add a Layers entry)", name)
+			continue
+		}
+		if fn == nil {
+			continue
+		}
+		var s Spec
+		fn(&s)
+		if reflect.DeepEqual(s.Apply(base), zero) {
+			t.Errorf("Spec.%s: perturbation did not change the composed Config — the field is not wired through Layers", name)
+		}
+	}
+}

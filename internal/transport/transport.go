@@ -113,6 +113,7 @@ func (k Kind) OverTCP() bool { return k != KindQUIC }
 // instrumentation: cubic-by-default CC (empty name defers to the base
 // Config), no recovery arms, idle validation off, undo enabled.
 type Spec struct {
+	//lint:allow fieldcover Kind selects which client/conn the arm builds, not a tcpsim.Config knob; Apply composes every config-bearing field via Layers
 	Kind               Kind
 	CC                 string
 	Recovery           tcpsim.RecoveryPolicy
